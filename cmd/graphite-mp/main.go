@@ -1,0 +1,139 @@
+// Command graphite-mp runs one simulation distributed across genuinely
+// separate OS processes connected by TCP — the deployment mode of the
+// paper's cluster experiments. The coordinator (proc 0) hosts the MCP and
+// prints results; workers host their striped tiles and exit when the
+// coordinator tears the fabric down.
+//
+// Run each process with the same flags, varying only -proc:
+//
+//	graphite-mp -procs 2 -proc 1 -workload radix &
+//	graphite-mp -procs 2 -proc 0 -workload radix
+//
+// Or let the coordinator fork the workers itself:
+//
+//	graphite-mp -procs 2 -workload radix -fork
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "radix", "workload name")
+		tiles   = flag.Int("tiles", 16, "target tiles")
+		threads = flag.Int("threads", 0, "worker threads (default: tiles)")
+		scale   = flag.Int("scale", 0, "problem size (default: workload default)")
+		procs   = flag.Int("procs", 2, "OS processes")
+		procID  = flag.Int("proc", 0, "this process's ID")
+		port    = flag.Int("port", 36400, "first TCP port")
+		fork    = flag.Bool("fork", false, "coordinator forks the workers")
+	)
+	flag.Parse()
+
+	w, ok := workloads.Get(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+	if *threads == 0 {
+		*threads = *tiles
+	}
+	if *scale == 0 {
+		*scale = w.DefaultScale
+	}
+
+	cfg := config.Default()
+	cfg.Tiles = *tiles
+	cfg.Processes = *procs
+	cfg.Transport = config.TransportTCP
+	cfg.TCPBase = *port
+	cfg.L1I = config.CacheConfig{Enabled: false}
+	cfg.L1D = config.CacheConfig{Enabled: true, Size: 16 << 10, Assoc: 8, LineSize: 64, HitLatency: 1}
+	cfg.L2 = config.CacheConfig{Enabled: true, Size: 256 << 10, Assoc: 8, LineSize: 64, HitLatency: 8}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *fork && *procID == 0 {
+		for p := 1; p < *procs; p++ {
+			cmd := exec.Command(os.Args[0],
+				"-workload", *name,
+				"-tiles", fmt.Sprint(*tiles),
+				"-threads", fmt.Sprint(*threads),
+				"-scale", fmt.Sprint(*scale),
+				"-procs", fmt.Sprint(*procs),
+				"-proc", fmt.Sprint(p),
+				"-port", fmt.Sprint(*port))
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				fmt.Fprintln(os.Stderr, "fork worker:", err)
+				os.Exit(1)
+			}
+			defer cmd.Wait()
+		}
+	}
+
+	addrs := make([]string, *procs)
+	for p := range addrs {
+		addrs[p] = fmt.Sprintf("127.0.0.1:%d", *port+p)
+	}
+	tr, err := transport.DialTCP(transport.TCPConfig{
+		Proc:  arch.ProcID(*procID),
+		Procs: *procs,
+		Addrs: addrs,
+		Route: transport.StripedRoute(*procs),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "transport:", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	prog := w.Build(workloads.Params{Threads: *threads, Scale: *scale})
+	proc, err := core.NewProc(arch.ProcID(*procID), &cfg, prog, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proc:", err)
+		os.Exit(1)
+	}
+	proc.Start()
+
+	done := make(chan struct{})
+	proc.OnShutdown = func() { close(done) }
+
+	if *procID != 0 {
+		// Workers serve until the coordinator announces teardown.
+		fmt.Fprintf(os.Stderr, "[proc %d] serving %d tiles\n", *procID, len(proc.Tiles()))
+		<-done
+		return
+	}
+
+	// Coordinator: run the application through the MCP.
+	fmt.Printf("running %s on %d tiles across %d OS processes\n", *name, *tiles, *procs)
+	if err := proc.MCP.StartMain(0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-proc.MCP.Done()
+	proc.MCP.FlushCaches()
+	tilesStats := proc.MCP.GatherStats()
+	totals := stats.Aggregate(tilesStats)
+	fmt.Printf("simulated cycles  %d\n", totals.MaxCycles)
+	fmt.Printf("instructions      %d\n", totals.Instructions)
+	fmt.Printf("loads / stores    %d / %d\n", totals.Loads, totals.Stores)
+	fmt.Printf("L2 miss rate      %.4f%%\n", 100*totals.MissRate())
+	fmt.Printf("network bytes     %d\n", totals.NetBytesSent)
+	proc.MCP.ShutdownWorkers()
+}

@@ -1,0 +1,43 @@
+// Command graphite-skew emits the Figure 7 clock-skew traces as CSV, one
+// block per synchronization model, suitable for plotting.
+//
+// Usage:
+//
+//	graphite-skew -preset quick > skew.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	preset := flag.String("preset", "quick", "size preset: quick|standard|full")
+	flag.Parse()
+	pr, err := experiments.ParsePreset(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := experiments.Fig7(pr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("model,wall_ms,min_dev_cycles,max_dev_cycles,mean_cycles")
+	for _, tr := range res.Traces {
+		for _, s := range tr.Samples {
+			fmt.Printf("%s,%.3f,%d,%d,%d\n",
+				tr.Model.String(),
+				float64(s.Wall.Microseconds())/1000,
+				int64(s.Min-s.Mean), int64(s.Max-s.Mean), int64(s.Mean))
+		}
+	}
+	for _, tr := range res.Traces {
+		fmt.Fprintf(os.Stderr, "%-11s max skew %d cycles over %d samples\n",
+			tr.Model.String(), tr.MaxSkew, len(tr.Samples))
+	}
+}

@@ -1,0 +1,112 @@
+// Command graphite-sweep regenerates the tables and figures of the paper's
+// evaluation section (§4). Each -exp selects one experiment; -preset
+// scales problem sizes.
+//
+// Usage:
+//
+//	graphite-sweep -exp table2 -preset quick
+//	graphite-sweep -exp fig9 -preset standard
+//	graphite-sweep -exp all -preset quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|fig4|table2|fig5|table3|fig7|fig8|fig9|all")
+		preset = flag.String("preset", "quick", "size preset: quick|standard|full")
+		runs   = flag.Int("runs", 0, "repetitions for table3 (default: preset-dependent)")
+		benchs = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		sizes  = flag.String("sizes", "", "comma-separated int list (line sizes, tile counts, machine counts)")
+	)
+	flag.Parse()
+
+	pr, err := experiments.ParsePreset(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var benchmarks []string
+	if *benchs != "" {
+		benchmarks = strings.Split(*benchs, ",")
+	}
+	var ints []int
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			ints = append(ints, v)
+		}
+	}
+
+	runOne := func(name string) {
+		fmt.Printf("==== %s (%s preset) ====\n", name, *preset)
+		var err error
+		switch name {
+		case "table1":
+			experiments.Table1(os.Stdout, config.Default())
+		case "fig4":
+			var r *experiments.Fig4Result
+			if r, err = experiments.Fig4(pr, benchmarks, ints); err == nil {
+				r.Print(os.Stdout)
+			}
+		case "table2":
+			var r *experiments.Table2Result
+			if r, err = experiments.Table2(pr, benchmarks); err == nil {
+				r.Print(os.Stdout)
+			}
+		case "fig5":
+			var r *experiments.Fig5Result
+			if r, err = experiments.Fig5(pr, ints); err == nil {
+				r.Print(os.Stdout)
+			}
+		case "table3", "fig6":
+			var r *experiments.Table3Result
+			if r, err = experiments.Table3(pr, benchmarks, *runs); err == nil {
+				r.Print(os.Stdout)
+			}
+		case "fig7":
+			var r *experiments.Fig7Result
+			if r, err = experiments.Fig7(pr); err == nil {
+				r.Print(os.Stdout)
+			}
+		case "fig8":
+			var r *experiments.Fig8Result
+			if r, err = experiments.Fig8(pr, benchmarks, ints); err == nil {
+				r.Print(os.Stdout)
+			}
+		case "fig9":
+			var r *experiments.Fig9Result
+			if r, err = experiments.Fig9(pr, ints); err == nil {
+				r.Print(os.Stdout)
+			}
+		default:
+			err = fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, e := range []string{"table1", "fig4", "table2", "fig5", "table3", "fig7", "fig8", "fig9"} {
+			runOne(e)
+		}
+		return
+	}
+	runOne(*exp)
+}

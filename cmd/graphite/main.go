@@ -1,0 +1,154 @@
+// Command graphite runs one workload on one simulated target architecture
+// and prints its statistics — the everyday driver for exploring a
+// configuration.
+//
+// Usage:
+//
+//	graphite -workload radix -tiles 32 -threads 32 -procs 2 -sync laxp2p
+//	graphite -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "radix", "workload name (see -list)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		tiles     = flag.Int("tiles", 32, "target tiles")
+		threads   = flag.Int("threads", 0, "worker threads (default: tiles)")
+		procs     = flag.Int("procs", 1, "simulated host processes")
+		scale     = flag.Int("scale", 0, "problem size (default: workload default)")
+		syncFlag  = flag.String("sync", "lax", "sync model: lax|laxbarrier|laxp2p")
+		coher     = flag.String("coherence", "fullmap", "coherence: fullmap|dirnb|limitless")
+		ptrs      = flag.Int("dirptrs", 4, "directory pointers for dirnb/limitless")
+		lineSize  = flag.Int("line", 64, "cache line size in bytes")
+		transport = flag.String("transport", "channel", "transport: channel|tcp")
+		workers   = flag.Int("workers", 0, "host worker cores (GOMAXPROCS), 0 = all")
+		seed      = flag.Int64("seed", 1, "model random seed")
+		showTiles = flag.Bool("pertile", false, "print per-tile statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			w, _ := workloads.Get(n)
+			fmt.Printf("%-16s scale=%-5d %s\n", n, w.DefaultScale, w.Description)
+		}
+		return
+	}
+
+	w, ok := workloads.Get(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; try -list\n", *name)
+		os.Exit(2)
+	}
+	if *threads == 0 {
+		*threads = *tiles
+	}
+	if *scale == 0 {
+		*scale = w.DefaultScale
+	}
+
+	cfg := config.Default()
+	cfg.Tiles = *tiles
+	cfg.Processes = *procs
+	cfg.Workers = *workers
+	cfg.RandSeed = *seed
+	cfg.L1D.LineSize = *lineSize
+	cfg.L1I.LineSize = *lineSize
+	cfg.L2.LineSize = *lineSize
+	switch strings.ToLower(*syncFlag) {
+	case "lax":
+		cfg.Sync.Model = config.Lax
+	case "laxbarrier":
+		cfg.Sync.Model = config.LaxBarrier
+	case "laxp2p":
+		cfg.Sync.Model = config.LaxP2P
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sync model %q\n", *syncFlag)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*coher) {
+	case "fullmap":
+		cfg.Coherence.Kind = config.FullMap
+	case "dirnb":
+		cfg.Coherence.Kind = config.LimitedNB
+		cfg.Coherence.DirPointers = *ptrs
+	case "limitless":
+		cfg.Coherence.Kind = config.LimitLESS
+		cfg.Coherence.DirPointers = *ptrs
+	default:
+		fmt.Fprintf(os.Stderr, "unknown coherence %q\n", *coher)
+		os.Exit(2)
+	}
+	if strings.ToLower(*transport) == "tcp" {
+		cfg.Transport = config.TransportTCP
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	experiments.Table1(os.Stdout, cfg)
+	fmt.Println()
+
+	prog := w.Build(workloads.Params{Threads: *threads, Scale: *scale})
+	cl, err := core.NewCluster(cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	rs, err := cl.Run(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload          %s (scale %d, %d threads)\n", *name, *scale, *threads)
+	fmt.Printf("simulated cycles  %d (%.3f ms of target time)\n",
+		rs.SimulatedCycles, float64(rs.SimulatedCycles)/float64(cfg.ClockHz)*1e3)
+	fmt.Printf("wall time         %v\n", rs.Wall)
+	fmt.Printf("instructions      %d\n", rs.Totals.Instructions)
+	fmt.Printf("loads / stores    %d / %d\n", rs.Totals.Loads, rs.Totals.Stores)
+	fmt.Printf("L2 miss rate      %.4f%% (cold %.4f%% capacity %.4f%% true %.4f%% false %.4f%%)\n",
+		100*rs.Totals.MissRate(),
+		100*rs.Totals.MissRateBy(stats.MissCold),
+		100*rs.Totals.MissRateBy(stats.MissCapacity),
+		100*rs.Totals.MissRateBy(stats.MissTrueSharing),
+		100*rs.Totals.MissRateBy(stats.MissFalseSharing))
+	fmt.Printf("avg mem latency   %.1f cycles over %d L2 misses\n",
+		rs.Totals.AvgMemLatency(), rs.Totals.MemAccesses)
+	fmt.Printf("upgrades          %d, invalidations %d, dir traps %d\n",
+		rs.Totals.Upgrades, rs.Totals.InvSent, rs.Totals.DirTraps)
+	fmt.Printf("DRAM              %d reads, %d writes\n", rs.Totals.DRAMReads, rs.Totals.DRAMWrites)
+	fmt.Printf("network           %d packets, %d bytes\n", rs.Totals.NetPacketsSent, rs.Totals.NetBytesSent)
+	fmt.Printf("branches          %d (%.2f%% mispredicted)\n", rs.Totals.Branches,
+		100*float64(rs.Totals.BranchMispredict)/float64(max(rs.Totals.Branches, 1)))
+
+	if *showTiles {
+		fmt.Printf("\n%-6s %14s %12s %10s %10s %10s\n", "tile", "cycles", "instr", "loads", "stores", "l2miss")
+		for _, ts := range rs.Tiles {
+			fmt.Printf("%-6d %14d %12d %10d %10d %10d\n",
+				ts.TileID, ts.Cycles, ts.Instructions, ts.Loads, ts.Stores, ts.L2Misses)
+		}
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+// Coherence study: the Figure 9 experiment as an application of the public
+// API — price options (a read-only-sharing-heavy workload) under four
+// directory protocols and watch the limited directories fall behind as
+// sharers exceed their pointers.
+//
+//	go run ./examples/coherence-study
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	graphite "repro"
+)
+
+// buildPricer returns a program where every worker reads a shared
+// read-only parameter line for each of its options — the access pattern
+// that breaks Dir_iNB once more than i tiles share the line.
+func buildPricer(workers, options int) graphite.Program {
+	return graphite.Program{
+		Name: "pricer",
+		Funcs: []graphite.ThreadFunc{
+			func(t *graphite.Thread, arg uint64) {
+				globals := t.Malloc(64)
+				out := t.Malloc(graphite.Addr(options * 64))
+				t.StoreF64(globals, 0.05)   // rate
+				t.StoreF64(globals+8, 0.30) // volatility
+				blk := t.Malloc(64)
+				t.Store64(blk, uint64(globals))
+				t.Store64(blk+8, uint64(out))
+				t.Store64(blk+16, uint64(options))
+				t.Store64(blk+24, uint64(workers))
+				var tids []graphite.ThreadID
+				for w := 1; w < workers; w++ {
+					tids = append(tids, t.Spawn(1, uint64(blk)|uint64(w)<<48))
+				}
+				price(t, blk, 0)
+				for _, tid := range tids {
+					t.Join(tid)
+				}
+			},
+			func(t *graphite.Thread, arg uint64) {
+				price(t, graphite.Addr(arg&0xFFFF_FFFF_FFFF), int(arg>>48))
+			},
+		},
+	}
+}
+
+func price(t *graphite.Thread, blk graphite.Addr, w int) {
+	globals := graphite.Addr(t.Load64(blk))
+	out := graphite.Addr(t.Load64(blk + 8))
+	options := int(t.Load64(blk + 16))
+	workers := int(t.Load64(blk + 24))
+	per := (options + workers - 1) / workers
+	// Several pricing passes (as PARSEC's NUM_RUNS loop does): repeated
+	// re-reads of the shared globals line are what separate the
+	// directory protocols.
+	for run := 0; run < 8; run++ {
+		for i := w * per; i < (w+1)*per && i < options; i++ {
+			rate := t.LoadF64(globals)    // the heavily shared line
+			vol := t.LoadF64(globals + 8) //
+			spot := 50 + float64(i%97)    // deterministic inputs
+			strike := 60 + float64(i%83)  //
+			d1 := (math.Log(spot/strike) + (rate + vol*vol/2)) / vol
+			t.Compute(graphite.FP, 200)
+			t.StoreF64(out+graphite.Addr(i*64), spot*d1)
+			t.Branch(true)
+		}
+	}
+}
+
+func main() {
+	type scheme struct {
+		label string
+		apply func(*graphite.Config)
+	}
+	protocols := []scheme{
+		{"Dir2NB", func(c *graphite.Config) {
+			c.Coherence.Kind = graphite.LimitedNB
+			c.Coherence.DirPointers = 2
+		}},
+		{"Dir4NB", func(c *graphite.Config) {
+			c.Coherence.Kind = graphite.LimitedNB
+			c.Coherence.DirPointers = 4
+		}},
+		{"full-map", func(c *graphite.Config) {
+			c.Coherence.Kind = graphite.FullMap
+		}},
+		{"LimitLESS4", func(c *graphite.Config) {
+			c.Coherence.Kind = graphite.LimitLESS
+			c.Coherence.DirPointers = 4
+			c.Coherence.TrapLatency = 100
+		}},
+	}
+
+	fmt.Printf("%-12s %6s %14s %10s %12s\n", "scheme", "tiles", "sim-cycles", "speedup", "invalidations")
+	for _, p := range protocols {
+		var base graphite.Cycles
+		for _, tiles := range []int{1, 4, 16} {
+			cfg := graphite.DefaultConfig()
+			cfg.Tiles = tiles
+			cfg.L2.Size = 256 << 10
+			cfg.L2.Assoc = 8
+			p.apply(&cfg)
+			rs, err := graphite.Run(cfg, buildPricer(tiles, 512), 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == 0 {
+				base = rs.SimulatedCycles
+			}
+			fmt.Printf("%-12s %6d %14d %9.2fx %12d\n",
+				p.label, tiles, rs.SimulatedCycles,
+				float64(base)/float64(rs.SimulatedCycles), rs.Totals.InvSent)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart: simulate a small parallel program — four threads summing a
+// shared array under a mutex-protected accumulator — on the paper's
+// Table 1 target architecture, and print what the simulator measured.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	graphite "repro"
+)
+
+func main() {
+	cfg := graphite.DefaultConfig()
+	cfg.Tiles = 8
+
+	const (
+		workers = 4
+		items   = 1024
+	)
+
+	// The program: main fills an array, workers sum disjoint slices and
+	// add their partials into a shared accumulator under a mutex.
+	prog := graphite.Program{
+		Name: "quickstart",
+		Funcs: []graphite.ThreadFunc{
+			// Funcs[0] is main.
+			func(t *graphite.Thread, arg uint64) {
+				data := t.Malloc(items * 8)
+				acc := t.Malloc(64)  // shared accumulator
+				lock := t.Malloc(64) // its mutex
+				for i := 0; i < items; i++ {
+					t.Store64(data+graphite.Addr(i*8), uint64(i+1))
+				}
+				// Parameter block for the workers.
+				blk := t.Malloc(64)
+				t.Store64(blk, uint64(data))
+				t.Store64(blk+8, uint64(acc))
+				t.Store64(blk+16, uint64(lock))
+
+				var tids []graphite.ThreadID
+				for w := 0; w < workers; w++ {
+					tids = append(tids, t.Spawn(1, uint64(blk)|uint64(w)<<48))
+				}
+				for _, tid := range tids {
+					t.Join(tid)
+				}
+				got := t.Load64(acc)
+				want := uint64(items) * (items + 1) / 2
+				fmt.Printf("sum = %d (want %d) at simulated cycle %d\n", got, want, t.Now())
+			},
+			// Funcs[1] is the worker.
+			func(t *graphite.Thread, arg uint64) {
+				blk := graphite.Addr(arg & 0xFFFF_FFFF_FFFF)
+				w := int(arg >> 48)
+				data := graphite.Addr(t.Load64(blk))
+				acc := graphite.Addr(t.Load64(blk + 8))
+				lock := graphite.Addr(t.Load64(blk + 16))
+
+				per := items / workers
+				var sum uint64
+				for i := w * per; i < (w+1)*per; i++ {
+					sum += t.Load64(data + graphite.Addr(i*8))
+					t.Compute(graphite.Arith, 1)
+				}
+				t.MutexLock(lock)
+				t.Store64(acc, t.Load64(acc)+sum)
+				t.MutexUnlock(lock)
+			},
+		},
+	}
+
+	rs, err := graphite.Run(cfg, prog, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated run time  %d cycles (%.3f ms of target time)\n",
+		rs.SimulatedCycles, float64(rs.SimulatedCycles)/1e6)
+	fmt.Printf("host wall time      %v\n", rs.Wall)
+	fmt.Printf("instructions        %d\n", rs.Totals.Instructions)
+	fmt.Printf("L2 miss rate        %.3f%%\n", 100*rs.Totals.MissRate())
+	fmt.Printf("network traffic     %d packets / %d bytes\n",
+		rs.Totals.NetPacketsSent, rs.Totals.NetBytesSent)
+}

@@ -1,0 +1,102 @@
+// Skew visualization: run the same compute-and-share program under each
+// synchronization model with skew sampling enabled, and render the clock
+// spread over time as text — a terminal rendition of Figure 7. Lax drifts
+// by orders of magnitude more than LaxP2P; LaxBarrier stays within a
+// quantum.
+//
+//	go run ./examples/skewviz
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	graphite "repro"
+)
+
+func buildProgram(workers, rounds int) graphite.Program {
+	return graphite.Program{
+		Name: "skewviz",
+		Funcs: []graphite.ThreadFunc{
+			func(t *graphite.Thread, arg uint64) {
+				shared := t.Malloc(graphite.Addr(workers * 64))
+				blk := t.Malloc(64)
+				t.Store64(blk, uint64(shared))
+				t.Store64(blk+8, uint64(rounds))
+				var tids []graphite.ThreadID
+				for w := 1; w < workers; w++ {
+					tids = append(tids, t.Spawn(1, uint64(blk)|uint64(w)<<48))
+				}
+				spin(t, blk, 0)
+				for _, tid := range tids {
+					t.Join(tid)
+				}
+			},
+			func(t *graphite.Thread, arg uint64) {
+				spin(t, graphite.Addr(arg&0xFFFF_FFFF_FFFF), int(arg>>48))
+			},
+		},
+	}
+}
+
+// spin interleaves unequal compute bursts (to create skew) with stores to
+// a shared array (to give the memory system work).
+func spin(t *graphite.Thread, blk graphite.Addr, w int) {
+	shared := graphite.Addr(t.Load64(blk))
+	rounds := int(t.Load64(blk + 8))
+	for r := 0; r < rounds; r++ {
+		t.Compute(graphite.Arith, 200*(w+1)) // deliberately unbalanced
+		t.Store64(shared+graphite.Addr(w*64), uint64(r))
+		t.Load64(shared + graphite.Addr(((w+1)%8)*64))
+	}
+}
+
+func main() {
+	const workers = 8
+	for _, m := range []struct {
+		name  string
+		model int
+	}{
+		{"Lax", int(graphite.Lax)},
+		{"LaxP2P", int(graphite.LaxP2P)},
+		{"LaxBarrier", int(graphite.LaxBarrier)},
+	} {
+		cfg := graphite.DefaultConfig()
+		cfg.Tiles = workers
+		cfg.CollectSkew = true
+		cfg.Sync.Model = graphite.Lax
+		switch m.name {
+		case "LaxP2P":
+			cfg.Sync.Model = graphite.LaxP2P
+			cfg.Sync.P2PSlack = 50_000
+			cfg.Sync.P2PInterval = 5_000
+		case "LaxBarrier":
+			cfg.Sync.Model = graphite.LaxBarrier
+			cfg.Sync.BarrierQuantum = 1_000
+		}
+		rs, err := graphite.Run(cfg, buildProgram(workers, 3000), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var maxSpread graphite.Cycles
+		for _, s := range rs.Skew {
+			if sp := s.Max - s.Min; sp > maxSpread {
+				maxSpread = sp
+			}
+		}
+		fmt.Printf("\n%s: %d samples, max clock spread %d cycles\n", m.name, len(rs.Skew), maxSpread)
+		for i, s := range rs.Skew {
+			if len(rs.Skew) > 12 && i%(len(rs.Skew)/12+1) != 0 {
+				continue
+			}
+			spread := s.Max - s.Min
+			bar := 1
+			if maxSpread > 0 {
+				bar += int(50 * spread / (maxSpread + 1))
+			}
+			fmt.Printf("%8.1fms |%-51s| spread %d\n",
+				float64(s.Wall.Microseconds())/1000, strings.Repeat("#", bar), spread)
+		}
+	}
+}

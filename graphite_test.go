@@ -1,0 +1,158 @@
+package graphite_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	graphite "repro"
+)
+
+func apiCfg(tiles int) graphite.Config {
+	cfg := graphite.DefaultConfig()
+	cfg.Tiles = tiles
+	cfg.L1I = graphite.CacheConfig{Enabled: false}
+	cfg.L1D = graphite.CacheConfig{Enabled: true, Size: 2 << 10, Assoc: 2, LineSize: 64, HitLatency: 1}
+	cfg.L2 = graphite.CacheConfig{Enabled: true, Size: 32 << 10, Assoc: 4, LineSize: 64, HitLatency: 8}
+	return cfg
+}
+
+func TestPublicRunOneShot(t *testing.T) {
+	var ran atomic.Bool
+	prog := graphite.Program{
+		Name: "oneshot",
+		Funcs: []graphite.ThreadFunc{func(th *graphite.Thread, arg uint64) {
+			if arg != 7 {
+				t.Errorf("arg = %d", arg)
+			}
+			a := th.Malloc(64)
+			th.Store64(a, arg)
+			if th.Load64(a) != 7 {
+				t.Error("store/load roundtrip failed")
+			}
+			ran.Store(true)
+		}},
+	}
+	rs, err := graphite.Run(apiCfg(2), prog, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("main never ran")
+	}
+	if rs.SimulatedCycles <= 0 || rs.Wall <= 0 {
+		t.Fatalf("bad run stats %+v", rs)
+	}
+}
+
+func TestPublicSimulatorPeekPoke(t *testing.T) {
+	prog := graphite.Program{
+		Name: "pp",
+		Funcs: []graphite.ThreadFunc{func(th *graphite.Thread, arg uint64) {
+			base := graphite.Addr(arg)
+			v := th.Load64(base)
+			th.Store64(base+64, v+1)
+		}},
+	}
+	cfg := apiCfg(2)
+	sim, err := graphite.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	base := cfg.AS.StaticBase
+	var in [8]byte
+	in[0] = 41
+	sim.Poke(base, in[:])
+	if _, err := sim.Run(uint64(base)); err != nil {
+		t.Fatal(err)
+	}
+	var out [8]byte
+	sim.Peek(base+64, out[:])
+	if out[0] != 42 {
+		t.Fatalf("peek = %d, want 42", out[0])
+	}
+}
+
+func TestPublicInvalidConfigRejected(t *testing.T) {
+	cfg := apiCfg(2)
+	cfg.Tiles = 0
+	_, err := graphite.New(cfg, graphite.Program{Name: "x", Funcs: []graphite.ThreadFunc{func(*graphite.Thread, uint64) {}}})
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	_, err = graphite.New(apiCfg(2), graphite.Program{Name: "empty"})
+	if err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestPublicThreadStack(t *testing.T) {
+	cfg := apiCfg(4)
+	prog := graphite.Program{
+		Name: "stack",
+		Funcs: []graphite.ThreadFunc{
+			func(th *graphite.Thread, arg uint64) {
+				// Each thread writes into its private stack; ranges must
+				// not collide.
+				b0, size := th.Stack()
+				if size == 0 {
+					t.Error("zero stack")
+				}
+				th.Store64(b0, 100)
+				tid := th.Spawn(1, 0)
+				th.Join(tid)
+				if th.Load64(b0) != 100 {
+					t.Error("stack clobbered by other thread")
+				}
+			},
+			func(th *graphite.Thread, arg uint64) {
+				b1, _ := th.Stack()
+				th.Store64(b1, 200)
+			},
+		},
+	}
+	if _, err := graphite.Run(cfg, prog, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicMessagingTimestamps(t *testing.T) {
+	// A receiver that was idle must be pulled forward to the sender's
+	// timestamp — the lax-sync clock forwarding on the messaging API.
+	prog := graphite.Program{
+		Name: "fwd",
+		Funcs: []graphite.ThreadFunc{
+			func(th *graphite.Thread, arg uint64) {
+				tid := th.Spawn(1, 0)
+				th.Compute(graphite.Arith, 100_000) // run far ahead
+				th.Send(tid, []byte{1})
+				th.Join(tid)
+			},
+			func(th *graphite.Thread, arg uint64) {
+				before := th.Now()
+				th.Recv()
+				if th.Now() < before+50_000 {
+					t.Errorf("receiver clock %d not forwarded past sender's", th.Now())
+				}
+			},
+		},
+	}
+	if _, err := graphite.Run(apiCfg(2), prog, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicConstantsDistinct(t *testing.T) {
+	if graphite.Lax == graphite.LaxBarrier || graphite.LaxBarrier == graphite.LaxP2P {
+		t.Fatal("sync model constants collide")
+	}
+	if graphite.FullMap == graphite.LimitedNB || graphite.LimitedNB == graphite.LimitLESS {
+		t.Fatal("coherence constants collide")
+	}
+	if graphite.Arith == graphite.Mul || graphite.Div == graphite.FP {
+		t.Fatal("instruction kind constants collide")
+	}
+	if graphite.MissCold == graphite.MissCapacity {
+		t.Fatal("miss kind constants collide")
+	}
+}

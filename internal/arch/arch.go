@@ -1,0 +1,47 @@
+// Package arch defines the primitive architectural types shared by every
+// Graphite subsystem: tile identifiers, simulated addresses, and simulated
+// cycle counts.
+//
+// The package is a leaf: it imports nothing and exists so that the network,
+// memory, and core-model packages can agree on these vocabulary types
+// without import cycles.
+package arch
+
+import "fmt"
+
+// TileID identifies a tile of the target architecture. Tiles are numbered
+// densely from 0 to Tiles-1. Negative values identify simulator control
+// endpoints (the MCP and per-process LCPs) on the transport fabric.
+type TileID int32
+
+// InvalidTile is returned by lookups that found no tile.
+const InvalidTile TileID = -1
+
+// String implements fmt.Stringer.
+func (t TileID) String() string {
+	if t < 0 {
+		return fmt.Sprintf("ctrl(%d)", int32(t))
+	}
+	return fmt.Sprintf("tile%d", int32(t))
+}
+
+// Addr is an address in the single simulated application address space that
+// Graphite presents to all target threads, regardless of which host process
+// the thread executes in.
+type Addr uint64
+
+// Cycles counts simulated target clock cycles. It is signed so that clock
+// differences (skew, queueing delays) can be represented directly.
+type Cycles int64
+
+// ThreadID identifies an application thread. Thread 0 is the main thread.
+type ThreadID int32
+
+// InvalidThread is returned by spawn failures and empty joins.
+const InvalidThread ThreadID = -1
+
+// ProcID identifies a simulated host process participating in a simulation.
+type ProcID int32
+
+// MaxCycles is a sentinel "infinitely far in the future" cycle count.
+const MaxCycles Cycles = 1<<63 - 1

@@ -1,0 +1,275 @@
+// Package cache implements the set-associative caches of the target memory
+// hierarchy (paper §3.2). Following Graphite's design, the cache is both a
+// timing model and the functional store: lines carry real data bytes, and
+// the application's loads and stores are served from them. A simulation
+// that produces correct program output therefore certifies the coherence
+// protocol built on top.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+)
+
+// State is the MSI coherence state of a line at the coherence point (L2).
+type State uint8
+
+const (
+	// Invalid means the line is not present.
+	Invalid State = iota
+	// Shared means a clean, read-only copy.
+	Shared
+	// Modified means an exclusive, writable, possibly dirty copy.
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// LineAddr is a cache-line-granular address: Addr >> log2(lineSize).
+type LineAddr uint64
+
+// Line is one cache line.
+type Line struct {
+	// Addr is the line address; valid only when State != Invalid.
+	Addr LineAddr
+	// State is the MSI state.
+	State State
+	// Dirty reports whether Data differs from the home memory copy.
+	Dirty bool
+	// WriteMask records which 8-byte words have been written while the
+	// line was held Modified; it feeds true/false-sharing classification.
+	WriteMask uint64
+	// Data is the line payload (lineSize bytes).
+	Data []byte
+
+	lru uint64
+}
+
+// Cache is one set-associative cache array with LRU replacement. It is not
+// internally synchronized: the owning tile serializes access with its
+// hierarchy mutex.
+type Cache struct {
+	cfg      config.CacheConfig
+	sets     []Line // sets*assoc lines, set-major
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+
+	// Statistics.
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// New builds a cache from a validated configuration. It panics on invalid
+// geometry; configs must be validated at simulation start.
+func New(cfg config.CacheConfig) *Cache {
+	if err := cfg.Validate("cache"); err != nil {
+		panic(err)
+	}
+	if !cfg.Enabled {
+		panic("cache: New called for disabled cache")
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]Line, sets*cfg.Assoc),
+		setMask: uint64(sets - 1),
+	}
+	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+// LineBits returns log2(lineSize).
+func (c *Cache) LineBits() uint { return c.lineBits }
+
+// HitLatency returns the configured hit latency.
+func (c *Cache) HitLatency() arch.Cycles { return c.cfg.HitLatency }
+
+// LineOf converts a byte address to its line address.
+func (c *Cache) LineOf(a arch.Addr) LineAddr { return LineAddr(uint64(a) >> c.lineBits) }
+
+// Base returns the first byte address of a line.
+func (c *Cache) Base(l LineAddr) arch.Addr { return arch.Addr(uint64(l) << c.lineBits) }
+
+func (c *Cache) set(l LineAddr) []Line {
+	s := uint64(l) & c.setMask
+	return c.sets[s*uint64(c.cfg.Assoc) : (s+1)*uint64(c.cfg.Assoc)]
+}
+
+// Lookup returns the line if present, updating LRU and hit/miss counters.
+func (c *Cache) Lookup(l LineAddr) *Line {
+	set := c.set(l)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == l {
+			c.tick++
+			set[i].lru = c.tick
+			c.Hits++
+			return &set[i]
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Peek returns the line if present without touching LRU or counters.
+func (c *Cache) Peek(l LineAddr) *Line {
+	set := c.set(l)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == l {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert places a line with the given state and data, evicting the LRU
+// victim of the set if needed. The returned victim (valid when evicted is
+// true) is a copy owned by the caller; its Data buffer is detached from
+// the cache. data is copied into the cache's own storage.
+func (c *Cache) Insert(l LineAddr, st State, data []byte) (victim Line, evicted bool) {
+	if st == Invalid {
+		panic("cache: inserting Invalid line")
+	}
+	set := c.set(l)
+	// Prefer an existing copy of the line (state upgrade in place) over an
+	// empty slot, so a line can never be duplicated within a set.
+	slot := -1
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == l {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		for i := range set {
+			if set[i].State == Invalid {
+				slot = i
+				break
+			}
+		}
+	}
+	if slot < 0 {
+		// Evict the least recently used line.
+		slot = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[slot].lru {
+				slot = i
+			}
+		}
+		victim = set[slot]
+		victim.Data = set[slot].Data // hand the buffer to the caller
+		set[slot].Data = nil
+		evicted = true
+		c.Evictions++
+		if victim.Dirty {
+			c.Writebacks++
+		}
+	}
+	ln := &set[slot]
+	prevMask := uint64(0)
+	prevDirty := false
+	if !evicted && ln.State != Invalid && ln.Addr == l {
+		prevMask = ln.WriteMask
+		prevDirty = ln.Dirty
+	}
+	if ln.Data == nil {
+		ln.Data = make([]byte, c.cfg.LineSize)
+	}
+	copy(ln.Data, data)
+	ln.Addr = l
+	ln.State = st
+	ln.Dirty = prevDirty
+	ln.WriteMask = prevMask
+	c.tick++
+	ln.lru = c.tick
+	return victim, evicted
+}
+
+// Invalidate removes a line, returning a copy of it (with its Data buffer)
+// and whether it was present.
+func (c *Cache) Invalidate(l LineAddr) (Line, bool) {
+	set := c.set(l)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == l {
+			out := set[i]
+			out.Data = set[i].Data
+			set[i] = Line{}
+			return out, true
+		}
+	}
+	return Line{}, false
+}
+
+// Downgrade moves a Modified line to Shared, clearing dirty state, and
+// returns it (without removing it). ok is false if absent.
+func (c *Cache) Downgrade(l LineAddr) (*Line, bool) {
+	set := c.set(l)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == l {
+			set[i].State = Shared
+			set[i].Dirty = false
+			set[i].WriteMask = 0
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+// ForEach visits every valid line. The callback must not insert or
+// invalidate lines.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for i := range c.sets {
+		if c.sets[i].State != Invalid {
+			fn(&c.sets[i])
+		}
+	}
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].State != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// WordMask returns the write-mask bits covering [off, off+n) within a
+// line, at 8-byte word granularity. Line sizes up to 512 bytes map onto
+// the 64 mask bits; larger lines saturate the mask (all bits), which only
+// makes sharing classification more conservative.
+func WordMask(off, n, lineSize int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if lineSize > 512 {
+		return ^uint64(0)
+	}
+	first := off / 8
+	last := (off + n - 1) / 8
+	var m uint64
+	for w := first; w <= last && w < 64; w++ {
+		m |= 1 << uint(w)
+	}
+	return m
+}

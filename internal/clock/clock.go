@@ -1,0 +1,129 @@
+// Package clock implements the timekeeping primitives of lax
+// synchronization (paper §3.6.1): per-tile local clocks that advance
+// independently, and the windowed timestamp average that approximates
+// global simulation progress for out-of-order queue models.
+package clock
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arch"
+)
+
+// Local is the simulated clock of one tile. It is read and advanced by the
+// tile's own core model and forwarded (monotonically) by synchronization
+// events carrying remote timestamps. All methods are safe for concurrent
+// use; other tiles and queue models read clocks they do not own.
+type Local struct {
+	cycles atomic.Int64
+}
+
+// Now returns the current simulated time of this tile.
+func (c *Local) Now() arch.Cycles {
+	return arch.Cycles(c.cycles.Load())
+}
+
+// Advance adds d cycles to the clock and returns the new time. Negative
+// advances are ignored: local time never runs backwards.
+func (c *Local) Advance(d arch.Cycles) arch.Cycles {
+	if d <= 0 {
+		return c.Now()
+	}
+	return arch.Cycles(c.cycles.Add(int64(d)))
+}
+
+// Forward moves the clock to t if t is in the future, implementing the
+// paper's rule that a synchronization event forwards the clock to the time
+// the event occurred, and does nothing if the event is in the simulated
+// past. It returns the resulting time.
+func (c *Local) Forward(t arch.Cycles) arch.Cycles {
+	for {
+		cur := c.cycles.Load()
+		if int64(t) <= cur {
+			return arch.Cycles(cur)
+		}
+		if c.cycles.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
+	}
+}
+
+// Set unconditionally sets the clock. It exists for tests and for thread
+// re-initialization; simulation code should use Advance and Forward.
+func (c *Local) Set(t arch.Cycles) {
+	c.cycles.Store(int64(t))
+}
+
+// ProgressWindow approximates the global simulated clock from a sliding
+// window of recently observed message timestamps (paper §3.6.1). The
+// window is sized on the order of the number of tiles so that a few
+// outlier clocks cannot dominate the average, while frequent messages
+// (every cache miss) keep it current.
+//
+// The implementation is a fixed ring of timestamps plus a running sum,
+// updated lock-free; Observe and Now are safe for concurrent use from
+// every tile of a process.
+//
+// Now is monotonic: global progress cannot regress. Without this clamp
+// the windowed average oscillates when slow tiles' timestamps displace
+// fast ones, and queue models that charge "queue clock minus global"
+// diverge — a laggard sample drops the average, the resulting huge
+// queueing delay inflates some tile's clock, that clock re-raises the
+// average, and so on without bound.
+type ProgressWindow struct {
+	slots []atomic.Int64
+	sum   atomic.Int64
+	next  atomic.Uint64
+	high  atomic.Int64 // monotonic floor of Now
+	n     int64
+}
+
+// NewProgressWindow returns a window holding size samples. Size must be
+// positive.
+func NewProgressWindow(size int) *ProgressWindow {
+	if size <= 0 {
+		size = 1
+	}
+	return &ProgressWindow{
+		slots: make([]atomic.Int64, size),
+		n:     int64(size),
+	}
+}
+
+// Observe records a message timestamp.
+func (w *ProgressWindow) Observe(t arch.Cycles) {
+	if t < 0 {
+		return
+	}
+	i := w.next.Add(1) - 1
+	slot := &w.slots[i%uint64(len(w.slots))]
+	old := slot.Swap(int64(t))
+	w.sum.Add(int64(t) - old)
+}
+
+// Now returns the current approximation of global progress: the average of
+// the timestamps in the window, clamped to be monotonically non-decreasing
+// across calls. Before any observation it returns 0.
+func (w *ProgressWindow) Now() arch.Cycles {
+	seen := w.next.Load()
+	if seen == 0 {
+		return 0
+	}
+	n := int64(seen)
+	if n > w.n {
+		n = w.n
+	}
+	avg := w.sum.Load() / n
+	for {
+		cur := w.high.Load()
+		if avg <= cur {
+			return arch.Cycles(cur)
+		}
+		if w.high.CompareAndSwap(cur, avg) {
+			return arch.Cycles(avg)
+		}
+	}
+}
+
+// Size returns the window capacity.
+func (w *ProgressWindow) Size() int { return len(w.slots) }

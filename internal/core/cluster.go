@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// SkewSample is one observation of clock skew across tiles (Figure 7).
+type SkewSample struct {
+	// Wall is the wall-clock offset from simulation start.
+	Wall time.Duration
+	// Min, Max, Mean summarize the clocks of tiles with running threads.
+	Min, Max, Mean arch.Cycles
+}
+
+// RunStats is the outcome of one simulation run.
+type RunStats struct {
+	// SimulatedCycles is the application's simulated run-time: the
+	// largest final tile clock.
+	SimulatedCycles arch.Cycles
+	// Wall is the wall-clock duration of the run.
+	Wall time.Duration
+	// Tiles are the per-tile statistics records, indexed by tile ID.
+	Tiles []stats.Tile
+	// Totals aggregates Tiles.
+	Totals stats.Totals
+	// Skew holds clock-skew samples when Config.CollectSkew is set.
+	Skew []SkewSample
+}
+
+// Slowdown returns the simulation slowdown versus a native execution of
+// the same work taking native wall time.
+func (r *RunStats) Slowdown(native time.Duration) float64 {
+	if native <= 0 {
+		return 0
+	}
+	return float64(r.Wall) / float64(native)
+}
+
+// Cluster is a fully wired simulation: all simulated host processes, their
+// transports, and the MCP.
+type Cluster struct {
+	cfg   config.Config
+	prog  Program
+	procs []*Proc
+	mcp   interface {
+		StartMain(arg uint64) error
+		Done() <-chan struct{}
+		GatherStats() []stats.Tile
+		FlushCaches()
+	}
+
+	transports []transport.Transport
+	fabric     *transport.ChannelFabric
+
+	skewMu   sync.Mutex
+	skew     []SkewSample
+	skewStop chan struct{}
+
+	closed bool
+}
+
+// NewCluster builds and starts a simulation of prog under cfg. The caller
+// must Close it.
+func NewCluster(cfg config.Config, prog Program) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, prog: prog}
+
+	switch cfg.Transport {
+	case config.TransportChannel:
+		c.fabric = transport.NewChannelFabric(transport.StripedRoute(cfg.Processes))
+		for p := 0; p < cfg.Processes; p++ {
+			c.transports = append(c.transports, c.fabric.Process(arch.ProcID(p)))
+		}
+	case config.TransportTCP:
+		addrs := make([]string, cfg.Processes)
+		for p := range addrs {
+			addrs[p] = fmt.Sprintf("127.0.0.1:%d", cfg.TCPBase+p)
+		}
+		c.transports = make([]transport.Transport, cfg.Processes)
+		errs := make([]error, cfg.Processes)
+		var wg sync.WaitGroup
+		for p := 0; p < cfg.Processes; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				c.transports[p], errs[p] = transport.DialTCP(transport.TCPConfig{
+					Proc:  arch.ProcID(p),
+					Procs: cfg.Processes,
+					Addrs: addrs,
+					Route: transport.StripedRoute(cfg.Processes),
+				})
+			}(p)
+		}
+		wg.Wait()
+		for p, err := range errs {
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("core: proc %d transport: %w", p, err)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown transport %v", cfg.Transport)
+	}
+
+	for p := 0; p < cfg.Processes; p++ {
+		proc, err := NewProc(arch.ProcID(p), &c.cfg, prog, c.transports[p])
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.procs = append(c.procs, proc)
+	}
+	c.mcp = c.procs[0].MCP
+	for _, p := range c.procs {
+		p.Start()
+	}
+	return c, nil
+}
+
+// Run executes the program's main thread with arg and blocks until every
+// application thread has exited; it then flushes caches and gathers
+// statistics. Run may be called once per Cluster.
+func (c *Cluster) Run(arg uint64) (*RunStats, error) {
+	if c.cfg.Workers > 0 {
+		prev := runtime.GOMAXPROCS(c.cfg.Workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	start := time.Now()
+	if c.cfg.CollectSkew {
+		c.skewStop = make(chan struct{})
+		go c.sampleSkew(start)
+	}
+	if err := c.mcp.StartMain(arg); err != nil {
+		return nil, err
+	}
+	<-c.mcp.Done()
+	wall := time.Since(start)
+	if c.skewStop != nil {
+		close(c.skewStop)
+	}
+	for _, p := range c.procs {
+		p.Wait()
+	}
+	c.mcp.FlushCaches()
+	tiles := c.mcp.GatherStats()
+	totals := stats.Aggregate(tiles)
+	c.skewMu.Lock()
+	skew := c.skew
+	c.skewMu.Unlock()
+	return &RunStats{
+		SimulatedCycles: totals.MaxCycles,
+		Wall:            wall,
+		Tiles:           tiles,
+		Totals:          totals,
+		Skew:            skew,
+	}, nil
+}
+
+// sampleSkew periodically snapshots all running tiles' clocks. It reads
+// clocks directly (all simulated processes share this OS process), which
+// corresponds to the approximate skew measurement of Figure 7.
+func (c *Cluster) sampleSkew(start time.Time) {
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.skewStop:
+			return
+		case <-tick.C:
+		}
+		// Only running, unblocked threads participate: exited or
+		// RPC-blocked threads have frozen clocks that would read as
+		// ever-growing skew while they are merely waiting.
+		var clocks []arch.Cycles
+		for _, p := range c.procs {
+			for _, t := range p.Tiles() {
+				if t.Running() {
+					clocks = append(clocks, t.Clock.Now())
+				}
+			}
+		}
+		if len(clocks) < 2 {
+			continue
+		}
+		sort.Slice(clocks, func(i, j int) bool { return clocks[i] < clocks[j] })
+		var sum arch.Cycles
+		for _, v := range clocks {
+			sum += v
+		}
+		s := SkewSample{
+			Wall: time.Since(start),
+			Min:  clocks[0],
+			Max:  clocks[len(clocks)-1],
+			Mean: sum / arch.Cycles(len(clocks)),
+		}
+		c.skewMu.Lock()
+		c.skew = append(c.skew, s)
+		c.skewMu.Unlock()
+	}
+}
+
+// Peek reads simulated memory functionally. Valid before Run or after Run
+// returns (caches are flushed at completion).
+func (c *Cluster) Peek(addr arch.Addr, buf []byte) {
+	c.procs[0].tileList[0].Mem.Peek(addr, buf)
+}
+
+// Poke writes simulated memory functionally (same validity as Peek).
+func (c *Cluster) Poke(addr arch.Addr, buf []byte) {
+	c.procs[0].tileList[0].Mem.Poke(addr, buf)
+}
+
+// Tiles returns every tile across processes, ordered by ID.
+func (c *Cluster) Tiles() []*Tile {
+	var out []*Tile
+	for _, p := range c.procs {
+		out = append(out, p.Tiles()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() *config.Config { return &c.cfg }
+
+// Close tears the simulation down. Safe to call more than once.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, p := range c.procs {
+		for _, t := range p.Tiles() {
+			t.Net.Close()
+		}
+		p.lcpNet.Close()
+		if p.mcpNet != nil {
+			p.mcpNet.Close()
+		}
+	}
+	for _, tr := range c.transports {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+	if c.fabric != nil {
+		c.fabric.Close()
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/mcp"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/synchro"
+	"repro/internal/transport"
+)
+
+// Proc is one simulated host process: a subset of the target tiles (striped
+// by tile ID), a Local Control Program, and — on process 0 — the Master
+// Control Program.
+type Proc struct {
+	id       arch.ProcID
+	cfg      *config.Config
+	prog     Program
+	tr       transport.Transport
+	progress *clock.ProgressWindow
+	models   *network.Models
+
+	tiles    map[arch.TileID]*Tile
+	tileList []*Tile
+
+	lcp    *mcp.LCP
+	lcpNet *network.Net
+
+	// MCP, present on process 0 only.
+	MCP    *mcp.Server
+	mcpNet *network.Net
+
+	// OnShutdown, if set before Start, runs when the MCP announces
+	// teardown (worker OS processes use it to exit).
+	OnShutdown func()
+
+	threads sync.WaitGroup
+}
+
+// NewProc builds the runtime of one host process on an attached transport.
+func NewProc(id arch.ProcID, cfg *config.Config, prog Program, tr transport.Transport) (*Proc, error) {
+	if len(prog.Funcs) == 0 {
+		return nil, fmt.Errorf("core: program %q has no thread functions", prog.Name)
+	}
+	p := &Proc{
+		id:       id,
+		cfg:      cfg,
+		prog:     prog,
+		tr:       tr,
+		progress: clock.NewProgressWindow(cfg.ProgressWindowSize()),
+		tiles:    make(map[arch.TileID]*Tile),
+	}
+	p.models = network.NewModels(cfg, p.progress)
+
+	for _, tid := range cfg.TilesOf(id) {
+		ep, err := tr.Register(transport.TileEndpoint(tid))
+		if err != nil {
+			return nil, err
+		}
+		net := network.New(tid, tr, ep, p.models, p.progress)
+		tile := NewTile(tid, cfg, net, p.progress)
+		p.tiles[tid] = tile
+		p.tileList = append(p.tileList, tile)
+	}
+
+	lcpEP, err := tr.Register(transport.LCP(id))
+	if err != nil {
+		return nil, err
+	}
+	p.lcpNet = network.New(arch.TileID(transport.LCP(id)), tr, lcpEP, p.models, nil)
+	p.lcp = mcp.NewLCP(id, p.lcpNet, mcp.LCPCallbacks{
+		StartThread:  p.startThread,
+		CollectStats: p.collectStats,
+		Flush:        p.flushAll,
+		Shutdown: func() {
+			if p.OnShutdown != nil {
+				p.OnShutdown()
+			}
+		},
+	})
+
+	if id == 0 {
+		mcpEP, err := tr.Register(transport.MCP)
+		if err != nil {
+			return nil, err
+		}
+		p.mcpNet = network.New(arch.TileID(transport.MCP), tr, mcpEP, p.models, nil)
+		p.MCP = mcp.NewServer(cfg, p.mcpNet)
+	}
+	return p, nil
+}
+
+// Start launches every server goroutine of the process.
+func (p *Proc) Start() {
+	for _, t := range p.tileList {
+		t.Net.Start()
+		t.Start()
+	}
+	p.lcpNet.Start()
+	go p.lcp.Serve()
+	if p.MCP != nil {
+		p.mcpNet.Start()
+		go p.MCP.Serve()
+	}
+}
+
+// startThread is the LCP callback launching an application thread.
+func (p *Proc) startThread(st mcp.StartThread, start arch.Cycles) {
+	tile := p.tiles[st.Tile]
+	if tile == nil {
+		panic(fmt.Sprintf("core: process %d asked to start thread on foreign tile %v", p.id, st.Tile))
+	}
+	if int(st.Func) >= len(p.prog.Funcs) {
+		panic(fmt.Sprintf("core: spawn of unregistered function %d", st.Func))
+	}
+	p.threads.Add(1)
+	go func() {
+		defer p.threads.Done()
+		tile.Clock.Forward(start)
+		tile.active.Store(true)
+		th := &Thread{tile: tile, proc: p, sync: p.newSyncModel(tile)}
+		p.prog.Funcs[st.Func](th, st.Arg)
+		tile.active.Store(false)
+		instr, br, miss, comp, mem := tile.Core.Stats()
+		tile.Mem.SetFinal(tile.Clock.Now(), instr, br, miss, comp, mem)
+		tile.sys.notify(mcp.MsgThreadExit, mcpTile, nil, tile.Clock.Now())
+	}()
+}
+
+// newSyncModel instantiates the configured synchronization model for a
+// freshly started thread.
+func (p *Proc) newSyncModel(tile *Tile) synchro.Model {
+	switch p.cfg.Sync.Model {
+	case config.LaxBarrier:
+		return synchro.NewBarrier(p.cfg.Sync.BarrierQuantum, func(epoch int64) {
+			tile.sys.call(mcp.MsgSimBarrier, mcpTile, mcp.EncodeU64(uint64(epoch)), tile.Clock.Now())
+		})
+	case config.LaxP2P:
+		probe := func(target arch.TileID) (arch.Cycles, bool) {
+			pkt, ok := tile.sys.call(mcp.MsgClockProbe, target, nil, tile.Clock.Now())
+			if !ok {
+				return 0, false
+			}
+			v, running, err := mcp.DecodeU64Pair(pkt.Payload)
+			if err != nil || running == 0 {
+				// A partner with no running thread (or blocked in the
+				// control plane) is waiting, not behind: skip it.
+				return 0, false
+			}
+			return arch.Cycles(v), true
+		}
+		// While napping the tile is waiting, not behind: exclude it from
+		// skew sampling and partner probes like any blocked thread.
+		nap := func(d time.Duration) {
+			tile.rpcBlocked.Store(true)
+			time.Sleep(d)
+			tile.rpcBlocked.Store(false)
+		}
+		return synchro.NewP2P(p.cfg.Sync, tile.ID, p.cfg.Tiles, p.cfg.RandSeed, probe, nap)
+	default:
+		return synchro.NewLax()
+	}
+}
+
+// collectStats snapshots every local tile.
+func (p *Proc) collectStats() []stats.Tile {
+	out := make([]stats.Tile, 0, len(p.tileList))
+	for _, t := range p.tileList {
+		out = append(out, t.Mem.Stats())
+	}
+	return out
+}
+
+// flushAll writes back all local caches.
+func (p *Proc) flushAll() {
+	for _, t := range p.tileList {
+		t.Mem.FlushAll(t.Clock.Now())
+	}
+}
+
+// Tiles returns the process's tiles (for skew sampling and tests).
+func (p *Proc) Tiles() []*Tile { return p.tileList }
+
+// Wait blocks until all local application threads have returned.
+func (p *Proc) Wait() { p.threads.Wait() }

@@ -1,0 +1,162 @@
+// Package core assembles Graphite's target tiles into a running simulation
+// (paper §2): each tile couples a local clock, the in-order core
+// performance model, the memory subsystem node, and a network interface;
+// tiles are grouped into simulated host processes (Proc), each with a
+// Local Control Program, and process 0 additionally hosts the Master
+// Control Program. Cluster wires the processes over the configured
+// transport and drives a whole simulation run.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/coremodel"
+	"repro/internal/mcp"
+	"repro/internal/memsys"
+	"repro/internal/network"
+)
+
+// Tile is one target tile: compute core, network switch, and memory node.
+type Tile struct {
+	ID    arch.TileID
+	Clock clock.Local
+	Net   *network.Net
+	Mem   *memsys.Node
+	Core  *coremodel.Core
+	sys   *sysRouter
+	cfg   *config.Config
+
+	// active reports whether an application thread is currently running
+	// on this tile; rpcBlocked reports that the thread is blocked in a
+	// control-plane RPC (join, lock, barrier, receive) with a frozen
+	// clock. Skew sampling and LaxP2P probes consider only running,
+	// unblocked tiles — a frozen clock is not "behind", it is waiting.
+	active     atomic.Bool
+	rpcBlocked atomic.Bool
+}
+
+// Active reports whether the tile currently runs an application thread.
+func (t *Tile) Active() bool { return t.active.Load() }
+
+// Running reports whether the tile's thread is running and not blocked in
+// a control-plane RPC.
+func (t *Tile) Running() bool { return t.active.Load() && !t.rpcBlocked.Load() }
+
+// NewTile builds a tile. net must be registered on the tile's endpoint and
+// started; progress is the process's shared progress window.
+func NewTile(id arch.TileID, cfg *config.Config, net *network.Net, progress *clock.ProgressWindow) *Tile {
+	t := &Tile{ID: id, Net: net, cfg: cfg}
+	t.Mem = memsys.NewNode(id, cfg, net, progress)
+	// The synthetic code segment lives at the top of the static data
+	// segment: one loop working set of CodeFootprint bytes per tile.
+	coreCfg := cfg.CoreFor(id) // heterogeneous targets override per tile
+	foot := coreCfg.CodeFootprint
+	codeBase := cfg.AS.StaticBase + arch.Addr(int(id))*arch.Addr(foot)
+	t.Core = coremodel.New(coreCfg, &t.Clock, codeBase, foot, cfg.LineSize(),
+		func(pc arch.Addr, n int, now arch.Cycles) arch.Cycles {
+			return t.Mem.Fetch(pc, n, now).Latency
+		})
+	t.sys = newSysRouter(net, &t.Clock)
+	t.sys.running = t.Running
+	return t
+}
+
+// Start launches the tile's server goroutines (memory node and system
+// router).
+func (t *Tile) Start() {
+	go t.Mem.Serve()
+	go t.sys.serve()
+}
+
+// sysRouter serves the tile's system-class traffic: it answers LaxP2P
+// clock probes directly (even when the tile has no running thread, the
+// clock is readable) and routes RPC replies to blocked callers by
+// sequence number.
+type sysRouter struct {
+	net *network.Net
+	clk *clock.Local
+	// running reports whether the tile's thread is running and unblocked;
+	// probe replies carry it so LaxP2P partners skip waiting tiles.
+	running func() bool
+
+	mu      sync.Mutex
+	waiters map[uint64]chan network.Packet
+	seq     uint64
+	closed  bool
+
+	stopped chan struct{}
+}
+
+func newSysRouter(net *network.Net, clk *clock.Local) *sysRouter {
+	return &sysRouter{
+		net:     net,
+		clk:     clk,
+		waiters: make(map[uint64]chan network.Packet),
+		stopped: make(chan struct{}),
+	}
+}
+
+func (r *sysRouter) serve() {
+	defer close(r.stopped)
+	for {
+		pkt, ok := r.net.Recv(network.ClassSystem)
+		if !ok {
+			r.mu.Lock()
+			r.closed = true
+			for seq, ch := range r.waiters {
+				close(ch)
+				delete(r.waiters, seq)
+			}
+			r.mu.Unlock()
+			return
+		}
+		if pkt.Type == mcp.MsgClockProbe {
+			running := uint64(0)
+			if r.running != nil && r.running() {
+				running = 1
+			}
+			payload := mcp.EncodeU64Pair(uint64(r.clk.Now()), running)
+			r.net.Send(network.ClassSystem, mcp.MsgClockProbeRep, pkt.Src, pkt.Seq, payload, 0)
+			continue
+		}
+		r.mu.Lock()
+		ch := r.waiters[pkt.Seq]
+		delete(r.waiters, pkt.Seq)
+		r.mu.Unlock()
+		if ch != nil {
+			ch <- pkt
+		}
+	}
+}
+
+// call performs a blocking RPC: it sends a system packet and waits for the
+// reply bearing the same sequence number. ok is false on teardown.
+func (r *sysRouter) call(typ uint8, dst arch.TileID, payload []byte, now arch.Cycles) (network.Packet, bool) {
+	ch := make(chan network.Packet, 1)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return network.Packet{}, false
+	}
+	r.seq++
+	seq := r.seq
+	r.waiters[seq] = ch
+	r.mu.Unlock()
+	if _, err := r.net.Send(network.ClassSystem, typ, dst, seq, payload, now); err != nil {
+		r.mu.Lock()
+		delete(r.waiters, seq)
+		r.mu.Unlock()
+		return network.Packet{}, false
+	}
+	pkt, ok := <-ch
+	return pkt, ok
+}
+
+// notify sends a fire-and-forget system packet.
+func (r *sysRouter) notify(typ uint8, dst arch.TileID, payload []byte, now arch.Cycles) {
+	r.net.Send(network.ClassSystem, typ, dst, 0, payload, now)
+}

@@ -1,0 +1,205 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+)
+
+func TestFullMapBasics(t *testing.T) {
+	s := New(config.FullMap, 0, 128)
+	if s.Count() != 0 || s.Contains(5) {
+		t.Fatal("fresh set not empty")
+	}
+	for _, tile := range []arch.TileID{0, 5, 63, 64, 127} {
+		evict, trap := s.Add(tile)
+		if evict != arch.InvalidTile || trap {
+			t.Fatalf("full map evicted/trapped on add of %v", tile)
+		}
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	// Duplicate add is idempotent.
+	s.Add(5)
+	if s.Count() != 5 {
+		t.Fatalf("duplicate add changed count to %d", s.Count())
+	}
+	seen := map[arch.TileID]bool{}
+	s.ForEach(func(tile arch.TileID) { seen[tile] = true })
+	for _, tile := range []arch.TileID{0, 5, 63, 64, 127} {
+		if !seen[tile] {
+			t.Fatalf("ForEach missed %v", tile)
+		}
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Count() != 4 {
+		t.Fatal("remove failed")
+	}
+	s.Remove(63) // no-op
+	if s.Count() != 4 {
+		t.Fatal("double remove changed count")
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("clear failed")
+	}
+	if s.InvTrap() {
+		t.Fatal("full map never traps")
+	}
+}
+
+func TestLimitedNBEvictsOnOverflow(t *testing.T) {
+	s := New(config.LimitedNB, 4, 64)
+	for tile := arch.TileID(0); tile < 4; tile++ {
+		if evict, _ := s.Add(tile); evict != arch.InvalidTile {
+			t.Fatalf("eviction before pointers full: %v", evict)
+		}
+	}
+	evict, trap := s.Add(10)
+	if trap {
+		t.Fatal("Dir_iNB must not trap")
+	}
+	if evict == arch.InvalidTile {
+		t.Fatal("no eviction at pointer overflow")
+	}
+	if !s.Contains(10) {
+		t.Fatal("new sharer not tracked")
+	}
+	if s.Contains(evict) {
+		t.Fatalf("evicted sharer %v still tracked", evict)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4", s.Count())
+	}
+}
+
+func TestLimitedNBEvictionRotates(t *testing.T) {
+	s := New(config.LimitedNB, 2, 64)
+	s.Add(0)
+	s.Add(1)
+	e1, _ := s.Add(2)
+	e2, _ := s.Add(3)
+	if e1 == e2 {
+		t.Fatalf("round-robin reclaimed the same pointer twice: %v", e1)
+	}
+}
+
+func TestLimitedNBDuplicateAdd(t *testing.T) {
+	s := New(config.LimitedNB, 2, 64)
+	s.Add(7)
+	s.Add(7)
+	if s.Count() != 1 {
+		t.Fatalf("duplicate add duplicated pointer: count=%d", s.Count())
+	}
+	if evict, _ := s.Add(8); evict != arch.InvalidTile {
+		t.Fatal("eviction with free pointer")
+	}
+}
+
+func TestLimitLESSTrapsBeyondPointers(t *testing.T) {
+	s := New(config.LimitLESS, 4, 64)
+	for tile := arch.TileID(0); tile < 4; tile++ {
+		if evict, trap := s.Add(tile); trap || evict != arch.InvalidTile {
+			t.Fatalf("hardware pointer add trapped or evicted")
+		}
+	}
+	if s.InvTrap() {
+		t.Fatal("InvTrap before overflow")
+	}
+	evict, trap := s.Add(20)
+	if !trap {
+		t.Fatal("overflow add did not trap")
+	}
+	if evict != arch.InvalidTile {
+		t.Fatal("LimitLESS must never evict sharers")
+	}
+	if s.Count() != 5 || !s.Contains(20) {
+		t.Fatal("overflow sharer lost — LimitLESS preserves the full set")
+	}
+	if !s.InvTrap() {
+		t.Fatal("InvTrap must report software involvement after overflow")
+	}
+	// Shrinking back under the pointer count stops trapping.
+	s.Remove(20)
+	if s.InvTrap() {
+		t.Fatal("InvTrap after shrink")
+	}
+	// Re-adding an existing sharer never traps.
+	if _, trap := s.Add(3); trap {
+		t.Fatal("duplicate add trapped")
+	}
+}
+
+func TestEntryLifecycle(t *testing.T) {
+	e := NewEntry(config.CoherenceConfig{Kind: config.FullMap}, 16)
+	if !e.Idle() {
+		t.Fatal("fresh entry not idle")
+	}
+	e.Sharers.Add(3)
+	if e.Idle() {
+		t.Fatal("entry with sharer is idle")
+	}
+	e.Sharers.Clear()
+	e.Owner = 5
+	if e.Idle() {
+		t.Fatal("entry with owner is idle")
+	}
+	e.Owner = arch.InvalidTile
+	if !e.Idle() {
+		t.Fatal("cleared entry not idle")
+	}
+}
+
+func TestPoliciesAgreeOnMembershipQuick(t *testing.T) {
+	// Property: for any operation sequence within pointer capacity, all
+	// three policies track exactly the same membership.
+	f := func(ops []uint8) bool {
+		full := New(config.FullMap, 0, 16)
+		nb := New(config.LimitedNB, 16, 16) // capacity == tiles: never evicts
+		ll := New(config.LimitLESS, 16, 16)
+		for _, op := range ops {
+			tile := arch.TileID(op % 16)
+			if op&0x80 != 0 {
+				full.Remove(tile)
+				nb.Remove(tile)
+				ll.Remove(tile)
+			} else {
+				full.Add(tile)
+				nb.Add(tile)
+				ll.Add(tile)
+			}
+		}
+		if full.Count() != nb.Count() || full.Count() != ll.Count() {
+			return false
+		}
+		for tile := arch.TileID(0); tile < 16; tile++ {
+			if full.Contains(tile) != nb.Contains(tile) || full.Contains(tile) != ll.Contains(tile) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimitedNBNeverExceedsPointersQuick(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		s := New(config.LimitedNB, capacity, 64)
+		for _, op := range ops {
+			s.Add(arch.TileID(op % 64))
+			if s.Count() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

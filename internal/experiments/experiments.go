@@ -1,0 +1,165 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): host-core scaling (Figure 4), simulation slowdown
+// versus native (Table 2), large-target scaling (Figure 5), the
+// synchronization-model comparison (Figure 6 / Table 3), clock skew
+// (Figure 7), the cache miss-rate characterization (Figure 8), and the
+// cache-coherence study (Figure 9).
+//
+// Each experiment is a pure function from a size preset to structured
+// results, plus a printer that renders the same rows the paper reports.
+// Absolute numbers differ from the paper's (the substrate is a simulator
+// on a small host, not an 8-core Xeon cluster); the shapes — who wins, by
+// what factor, where curves bend — are the reproduction target, and
+// EXPERIMENTS.md records both sides.
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Preset scales an experiment's problem sizes.
+type Preset int
+
+const (
+	// Quick finishes in seconds; used by unit tests and CI.
+	Quick Preset = iota
+	// Standard is the default for cmd/graphite-sweep.
+	Standard
+	// Full approaches the paper's sizes where host memory permits.
+	Full
+)
+
+// ParsePreset converts a flag value.
+func ParsePreset(s string) (Preset, error) {
+	switch s {
+	case "quick":
+		return Quick, nil
+	case "standard":
+		return Standard, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("unknown preset %q (quick|standard|full)", s)
+	}
+}
+
+// scaleFor returns the workload Scale for a preset.
+func scaleFor(name string, pr Preset) int {
+	w, ok := workloads.Get(name)
+	if !ok {
+		panic("experiments: unknown workload " + name)
+	}
+	switch pr {
+	case Quick:
+		quick := map[string]int{
+			"fft": 8, "lu_cont": 24, "lu_non_cont": 24,
+			"ocean_cont": 24, "ocean_non_cont": 24, "radix": 9,
+			"cholesky": 20, "fmm": 64, "water_nsquared": 32,
+			"water_spatial": 48, "barnes": 48, "matmul": 16,
+			"blackscholes": 8,
+		}
+		return quick[name]
+	case Standard:
+		return w.DefaultScale
+	default:
+		full := map[string]int{
+			"fft": 12, "lu_cont": 128, "lu_non_cont": 128,
+			"ocean_cont": 128, "ocean_non_cont": 128, "radix": 14,
+			"cholesky": 96, "fmm": 512, "water_nsquared": 192,
+			"water_spatial": 256, "barnes": 256, "matmul": 96,
+			"blackscholes": 13,
+		}
+		return full[name]
+	}
+}
+
+// baseConfig is the Table 1 target scaled to simulation-friendly cache
+// sizes (per-tile cache metadata is host memory; see DESIGN.md).
+func baseConfig(tiles int) config.Config {
+	cfg := config.Default()
+	cfg.Tiles = tiles
+	cfg.L1I = config.CacheConfig{Enabled: false}
+	cfg.L1D = config.CacheConfig{Enabled: true, Size: 16 << 10, Assoc: 8, LineSize: 64, HitLatency: 1}
+	cfg.L2 = config.CacheConfig{Enabled: true, Size: 256 << 10, Assoc: 8, LineSize: 64, HitLatency: 8}
+	return cfg
+}
+
+// runOnce executes one workload configuration and returns its stats and
+// checksum. The returned RunStats' SimulatedCycles is replaced by the
+// workload's region-of-interest time (the parallel region ending at the
+// final join) when the workload recorded one — the standard SPLASH/PARSEC
+// measurement; the raw total remains available as the max tile clock.
+func runOnce(name string, threads int, scale int, cfg config.Config) (*core.RunStats, float64, error) {
+	w, ok := workloads.Get(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("unknown workload %q", name)
+	}
+	p := workloads.Params{Threads: threads, Scale: scale}
+	cl, err := core.NewCluster(cfg, w.Build(p))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer cl.Close()
+	rs, err := cl.Run(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf [16]byte
+	cl.Peek(workloads.DefaultResultAddr, buf[:])
+	sum := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8]))
+	if roi := arch.Cycles(binary.LittleEndian.Uint64(buf[8:16])); roi > 0 {
+		rs.SimulatedCycles = roi
+	}
+	return rs, sum, nil
+}
+
+// nativeTime measures the wall-clock time of the native variant, repeated
+// until at least minDuration has elapsed to get a stable measurement.
+func nativeTime(name string, p workloads.Params) time.Duration {
+	w, _ := workloads.Get(name)
+	const minDuration = 20 * time.Millisecond
+	reps := 0
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		w.Native(p)
+		reps++
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// mean and stddev over float64 slices.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

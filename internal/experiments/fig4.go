@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+)
+
+// Fig4Point is one (benchmark, host cores) measurement.
+type Fig4Point struct {
+	Benchmark string
+	HostCores int
+	WallSec   float64
+	Speedup   float64 // versus 1 host core
+}
+
+// Fig4Result is the Figure 4 host-core scaling study: simulator wall time
+// of a fixed 32-tile target as host parallelism grows.
+type Fig4Result struct {
+	TargetTiles int
+	Points      []Fig4Point
+}
+
+// Fig4 runs the scaling study. benchmarks defaults to a representative
+// SPLASH subset; hostCores defaults to {1, 2, 4, ...} up to the machine's
+// CPU count (the paper scales 1..64 across 8 machines — the curve is
+// truncated by the host running this reproduction).
+func Fig4(pr Preset, benchmarks []string, hostCores []int) (*Fig4Result, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"fmm", "ocean_cont", "radix", "water_spatial"}
+	}
+	if len(hostCores) == 0 {
+		for c := 1; c <= runtime.NumCPU(); c *= 2 {
+			hostCores = append(hostCores, c)
+		}
+	}
+	tiles := 32
+	threads := 32
+	if pr == Quick {
+		tiles, threads = 8, 8
+	}
+	res := &Fig4Result{TargetTiles: tiles}
+	for _, b := range benchmarks {
+		scale := scaleFor(b, pr)
+		base := 0.0
+		for _, hc := range hostCores {
+			cfg := baseConfig(tiles)
+			cfg.Workers = hc
+			rs, _, err := runOnce(b, threads, scale, cfg)
+			if err != nil {
+				return nil, err
+			}
+			wall := rs.Wall.Seconds()
+			if base == 0 {
+				base = wall
+			}
+			res.Points = append(res.Points, Fig4Point{
+				Benchmark: b,
+				HostCores: hc,
+				WallSec:   wall,
+				Speedup:   base / wall,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print renders the Figure 4 series.
+func (r *Fig4Result) Print(w io.Writer) {
+	fprintf(w, "Figure 4: speedup of %d-tile simulations vs. host cores (normalized to 1 core)\n", r.TargetTiles)
+	fprintf(w, "%-16s %10s %12s %10s\n", "benchmark", "host-cores", "wall-sec", "speedup")
+	for _, p := range r.Points {
+		fprintf(w, "%-16s %10d %12.3f %9.2fx\n", p.Benchmark, p.HostCores, p.WallSec, p.Speedup)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/config"
+)
+
+// Fig5Point is one (machines, wall time) measurement.
+type Fig5Point struct {
+	Machines int
+	WallSec  float64
+	Speedup  float64 // versus 1 machine
+}
+
+// Fig5Result reproduces Figure 5: run time of a matrix-multiply kernel
+// with one thread per tile on a large target architecture, across growing
+// numbers of host processes ("machines").
+type Fig5Result struct {
+	TargetTiles int
+	Points      []Fig5Point
+}
+
+// Fig5 runs the large-target scaling study. The paper uses 1024 tiles on
+// 1..10 machines; presets scale the tile count to host memory (per-tile
+// cache metadata) while keeping one thread per tile and the neighbour
+// messaging pattern.
+func Fig5(pr Preset, machines []int) (*Fig5Result, error) {
+	if len(machines) == 0 {
+		machines = []int{1, 2, 4, 6, 8, 10}
+	}
+	tiles := 1024
+	scale := 320 // ~102,400 elements, as in the paper
+	switch pr {
+	case Quick:
+		tiles, scale = 64, 32
+	case Standard:
+		tiles, scale = 256, 64
+	}
+	res := &Fig5Result{TargetTiles: tiles}
+	base := 0.0
+	for _, m := range machines {
+		cfg := baseConfig(tiles)
+		cfg.Processes = m
+		// Large targets need lean per-tile caches (host memory).
+		cfg.L1D = config.CacheConfig{Enabled: true, Size: 4 << 10, Assoc: 2, LineSize: 64, HitLatency: 1}
+		cfg.L2 = config.CacheConfig{Enabled: true, Size: 32 << 10, Assoc: 4, LineSize: 64, HitLatency: 8}
+		rs, _, err := runOnce("matmul", tiles, scale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		wall := rs.Wall.Seconds()
+		if base == 0 {
+			base = wall
+		}
+		res.Points = append(res.Points, Fig5Point{Machines: m, WallSec: wall, Speedup: base / wall})
+	}
+	return res, nil
+}
+
+// Print renders the Figure 5 series.
+func (r *Fig5Result) Print(w io.Writer) {
+	fprintf(w, "Figure 5: %d-thread matrix-multiply on %d target tiles vs. host processes\n",
+		r.TargetTiles, r.TargetTiles)
+	fprintf(w, "%10s %12s %10s\n", "machines", "wall-sec", "speedup")
+	for _, p := range r.Points {
+		fprintf(w, "%10d %12.3f %9.2fx\n", p.Machines, p.WallSec, p.Speedup)
+	}
+}

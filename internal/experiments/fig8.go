@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// Fig8Point is the miss-rate breakdown of one (benchmark, line size) cell.
+type Fig8Point struct {
+	Benchmark string
+	LineSize  int
+	// Rates are classified misses per memory reference, by kind.
+	Rates [stats.NumMissKinds]float64
+	// Total is the overall classified miss rate.
+	Total float64
+	// Upgrades is the S->M upgrade rate (not part of the 4-way split).
+	Upgrades float64
+}
+
+// Fig8Result reproduces Figure 8: the breakdown of cache misses by type as
+// the line size varies, using the paper's §4.4 memory configuration — L1
+// caches disabled and a 1 MB 4-way L2 taking all references.
+type Fig8Result struct {
+	Points    []Fig8Point
+	LineSizes []int
+}
+
+// Fig8 runs the miss-rate characterization.
+func Fig8(pr Preset, benchmarks []string, lineSizes []int) (*Fig8Result, error) {
+	if len(benchmarks) == 0 {
+		// The six benchmarks of Figure 8.
+		benchmarks = []string{"lu_cont", "water_spatial", "radix", "barnes", "fft", "ocean_cont"}
+	}
+	if len(lineSizes) == 0 {
+		lineSizes = []int{16, 32, 64, 128, 256}
+	}
+	tiles, threads := 32, 32
+	l2Size := 1 << 20
+	if pr == Quick {
+		tiles, threads = 8, 8
+		l2Size = 64 << 10
+	}
+	res := &Fig8Result{LineSizes: lineSizes}
+	for _, b := range benchmarks {
+		scale := scaleFor(b, pr)
+		for _, ls := range lineSizes {
+			cfg := baseConfig(tiles)
+			// §4.4 memory system: no L1s, one cache level.
+			cfg.L1I = config.CacheConfig{Enabled: false}
+			cfg.L1D = config.CacheConfig{Enabled: false}
+			cfg.L2 = config.CacheConfig{Enabled: true, Size: l2Size, Assoc: 4, LineSize: ls, HitLatency: 8}
+			rs, _, err := runOnce(b, threads, scale, cfg)
+			if err != nil {
+				return nil, err
+			}
+			refs := float64(rs.Totals.Loads + rs.Totals.Stores)
+			if refs == 0 {
+				refs = 1
+			}
+			pt := Fig8Point{Benchmark: b, LineSize: ls}
+			for k := stats.MissKind(0); k < stats.NumMissKinds; k++ {
+				pt.Rates[k] = float64(rs.Totals.MissBy[k]) / refs
+				pt.Total += pt.Rates[k]
+			}
+			pt.Upgrades = float64(rs.Totals.Upgrades) / refs
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Print renders the Figure 8 breakdown.
+func (r *Fig8Result) Print(w io.Writer) {
+	fprintf(w, "Figure 8: cache miss breakdown by type vs. line size (L1 off, L2 only)\n")
+	fprintf(w, "%-16s %6s %9s %9s %9s %9s %9s %9s\n",
+		"benchmark", "line", "total%%", "cold%%", "capac%%", "true%%", "false%%", "upgr%%")
+	for _, p := range r.Points {
+		fprintf(w, "%-16s %6d %8.3f%% %8.3f%% %8.3f%% %8.3f%% %8.3f%% %8.3f%%\n",
+			p.Benchmark, p.LineSize, 100*p.Total,
+			100*p.Rates[stats.MissCold], 100*p.Rates[stats.MissCapacity],
+			100*p.Rates[stats.MissTrueSharing], 100*p.Rates[stats.MissFalseSharing],
+			100*p.Upgrades)
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/workloads"
+)
+
+// Table2Row is one benchmark's slowdown measurement.
+type Table2Row struct {
+	Benchmark  string
+	NativeSec  float64
+	Sim1Sec    float64 // 1 simulated host process
+	Slowdown1  float64
+	Sim8Sec    float64 // 8 simulated host processes
+	Slowdown8  float64
+	ChecksumOK bool
+}
+
+// Table2Result reproduces Table 2: wall-clock simulation time and slowdown
+// versus native execution, on 1 and 8 host processes, 32 target tiles.
+type Table2Result struct {
+	Rows                   []Table2Row
+	Mean1, Median1         float64
+	Mean8, Median8         float64
+	TargetTiles, Processes int
+}
+
+// Table2 runs the slowdown study over the SPLASH suite.
+func Table2(pr Preset, benchmarks []string) (*Table2Result, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = workloads.SplashNames()
+	}
+	tiles, threads, procs := 32, 32, 8
+	if pr == Quick {
+		tiles, threads, procs = 8, 8, 4
+	}
+	res := &Table2Result{TargetTiles: tiles, Processes: procs}
+	for _, b := range benchmarks {
+		scale := scaleFor(b, pr)
+		p := workloads.Params{Threads: threads, Scale: scale}
+		native := nativeTime(b, p).Seconds()
+		w, _ := workloads.Get(b)
+		want := w.Native(p)
+
+		cfg1 := baseConfig(tiles)
+		rs1, sum1, err := runOnce(b, threads, scale, cfg1)
+		if err != nil {
+			return nil, err
+		}
+		cfgN := baseConfig(tiles)
+		cfgN.Processes = procs
+		rsN, sumN, err := runOnce(b, threads, scale, cfgN)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Benchmark:  b,
+			NativeSec:  native,
+			Sim1Sec:    rs1.Wall.Seconds(),
+			Slowdown1:  rs1.Wall.Seconds() / native,
+			Sim8Sec:    rsN.Wall.Seconds(),
+			Slowdown8:  rsN.Wall.Seconds() / native,
+			ChecksumOK: workloads.Close(sum1, want) && workloads.Close(sumN, want),
+		})
+	}
+	var s1, s8 []float64
+	for _, r := range res.Rows {
+		s1 = append(s1, r.Slowdown1)
+		s8 = append(s8, r.Slowdown8)
+	}
+	res.Mean1, res.Median1 = mean(s1), median(s1)
+	res.Mean8, res.Median8 = mean(s8), median(s8)
+	return res, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Print renders the Table 2 rows.
+func (r *Table2Result) Print(w io.Writer) {
+	fprintf(w, "Table 2: simulation wall time vs. native, %d target tiles, 1 and %d host processes\n",
+		r.TargetTiles, r.Processes)
+	fprintf(w, "%-16s %12s %12s %10s %12s %10s %8s\n",
+		"application", "native-sec", "sim1-sec", "slow1", "simN-sec", "slowN", "check")
+	for _, row := range r.Rows {
+		ok := "ok"
+		if !row.ChecksumOK {
+			ok = "FAIL"
+		}
+		fprintf(w, "%-16s %12.4f %12.3f %9.0fx %12.3f %9.0fx %8s\n",
+			row.Benchmark, row.NativeSec, row.Sim1Sec, row.Slowdown1,
+			row.Sim8Sec, row.Slowdown8, ok)
+	}
+	fprintf(w, "%-16s %12s %12s %9.0fx %12s %9.0fx\n", "Mean", "-", "-", r.Mean1, "-", r.Mean8)
+	fprintf(w, "%-16s %12s %12s %9.0fx %12s %9.0fx\n", "Median", "-", "-", r.Median1, "-", r.Median8)
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+)
+
+// SyncCell is the measurement of one (benchmark, sync model, processes)
+// cell over repeated runs.
+type SyncCell struct {
+	Benchmark string
+	Model     config.SyncModel
+	Processes int
+	// RunTimeNorm is mean wall time normalized to Lax on 1 process.
+	RunTimeNorm float64
+	// SimCyclesMean is the mean simulated run time (cycles).
+	SimCyclesMean float64
+	// ErrorPct is |SimCyclesMean - baseline| / baseline * 100, with the
+	// LaxBarrier 1-process mean as baseline (the paper's choice).
+	ErrorPct float64
+	// CoVPct is the coefficient of variation of simulated cycles.
+	CoVPct float64
+}
+
+// Table3Result reproduces Figure 6 and Table 3: performance, error, and
+// variability of Lax, LaxP2P, and LaxBarrier on one and several host
+// processes.
+type Table3Result struct {
+	Cells []SyncCell
+	Runs  int
+	// Summary rows (means across benchmarks), keyed by model.
+	MeanRunTime map[config.SyncModel][2]float64 // [1 proc, N proc]
+	MeanError   map[config.SyncModel]float64
+	MeanCoV     map[config.SyncModel]float64
+	Procs       int
+}
+
+// Table3 runs the synchronization-model study: each benchmark × model ×
+// process-count cell is repeated runs times (the paper uses ten).
+func Table3(pr Preset, benchmarks []string, runs int) (*Table3Result, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"lu_cont", "ocean_cont", "radix"}
+	}
+	if runs <= 0 {
+		runs = 10
+	}
+	tiles, threads, procs := 32, 32, 4
+	// The P2P slack must be small relative to the run's simulated length
+	// (the paper's 100k-cycle slack is tuned to multi-billion-cycle runs).
+	slack, interval := arch.Cycles(100_000), arch.Cycles(10_000)
+	if pr == Quick {
+		tiles, threads, procs, runs = 8, 8, 2, min(runs, 3)
+		slack, interval = 1_000, 500
+	} else if pr == Standard {
+		slack, interval = 20_000, 5_000
+	}
+	models := []config.SyncModel{config.Lax, config.LaxP2P, config.LaxBarrier}
+	procCounts := []int{1, procs}
+
+	res := &Table3Result{
+		Runs:        runs,
+		Procs:       procs,
+		MeanRunTime: map[config.SyncModel][2]float64{},
+		MeanError:   map[config.SyncModel]float64{},
+		MeanCoV:     map[config.SyncModel]float64{},
+	}
+
+	type cellData struct {
+		wall, cycles []float64
+	}
+	data := map[string]map[config.SyncModel]map[int]*cellData{}
+	for _, b := range benchmarks {
+		data[b] = map[config.SyncModel]map[int]*cellData{}
+		scale := scaleFor(b, pr)
+		for _, m := range models {
+			data[b][m] = map[int]*cellData{}
+			for _, pc := range procCounts {
+				cd := &cellData{}
+				for r := 0; r < runs; r++ {
+					cfg := baseConfig(tiles)
+					cfg.Processes = pc
+					cfg.Sync.Model = m
+					cfg.Sync.BarrierQuantum = 1000
+					cfg.Sync.P2PSlack = slack
+					cfg.Sync.P2PInterval = interval
+					cfg.RandSeed = int64(r + 1)
+					rs, _, err := runOnce(b, threads, scale, cfg)
+					if err != nil {
+						return nil, err
+					}
+					cd.wall = append(cd.wall, rs.Wall.Seconds())
+					cd.cycles = append(cd.cycles, float64(rs.SimulatedCycles))
+				}
+				data[b][m][pc] = cd
+			}
+		}
+	}
+
+	// Normalize and summarize.
+	sums := map[config.SyncModel][2]float64{}
+	errSums := map[config.SyncModel]float64{}
+	covSums := map[config.SyncModel]float64{}
+	for _, b := range benchmarks {
+		laxBase := mean(data[b][config.Lax][1].wall)
+		baseline := mean(data[b][config.LaxBarrier][1].cycles)
+		for _, m := range models {
+			for pi, pc := range procCounts {
+				cd := data[b][m][pc]
+				wallMean := mean(cd.wall)
+				cycMean := mean(cd.cycles)
+				errPct := 0.0
+				if baseline > 0 {
+					errPct = 100 * abs(cycMean-baseline) / baseline
+				}
+				cov := 0.0
+				if cycMean > 0 {
+					cov = 100 * stddev(cd.cycles) / cycMean
+				}
+				res.Cells = append(res.Cells, SyncCell{
+					Benchmark:     b,
+					Model:         m,
+					Processes:     pc,
+					RunTimeNorm:   wallMean / laxBase,
+					SimCyclesMean: cycMean,
+					ErrorPct:      errPct,
+					CoVPct:        cov,
+				})
+				s := sums[m]
+				s[pi] += wallMean / laxBase
+				sums[m] = s
+				if pc == 1 {
+					errSums[m] += errPct
+					covSums[m] += cov
+				}
+			}
+		}
+	}
+	nb := float64(len(benchmarks))
+	for _, m := range models {
+		res.MeanRunTime[m] = [2]float64{sums[m][0] / nb, sums[m][1] / nb}
+		res.MeanError[m] = errSums[m] / nb
+		res.MeanCoV[m] = covSums[m] / nb
+	}
+	return res, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Print renders the Figure 6 cells and the Table 3 summary.
+func (r *Table3Result) Print(w io.Writer) {
+	fprintf(w, "Figure 6 / Table 3: synchronization models (%d runs per cell)\n", r.Runs)
+	fprintf(w, "%-14s %-11s %6s %12s %14s %10s %8s\n",
+		"benchmark", "model", "procs", "runtime-norm", "sim-cycles", "error%%", "CoV%%")
+	for _, c := range r.Cells {
+		fprintf(w, "%-14s %-11s %6d %12.3f %14.0f %9.2f%% %7.2f%%\n",
+			c.Benchmark, c.Model.String(), c.Processes, c.RunTimeNorm,
+			c.SimCyclesMean, c.ErrorPct, c.CoVPct)
+	}
+	fprintf(w, "\nSummary (means over benchmarks):\n")
+	fprintf(w, "%-11s %14s %14s %10s %8s\n", "model", "runtime(1mc)", "runtime(Nmc)", "error%%", "CoV%%")
+	for _, m := range []config.SyncModel{config.Lax, config.LaxP2P, config.LaxBarrier} {
+		rt := r.MeanRunTime[m]
+		fprintf(w, "%-11s %14.3f %14.3f %9.2f%% %7.2f%%\n",
+			m.String(), rt[0], rt[1], r.MeanError[m], r.MeanCoV[m])
+	}
+}

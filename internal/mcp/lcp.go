@@ -1,0 +1,83 @@
+package mcp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+
+	"repro/internal/arch"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// LCPCallbacks connect the Local Control Program to its process's tile
+// runtime. StartThread must not block (launch a goroutine); Flush may
+// block until local caches are written back.
+type LCPCallbacks struct {
+	// StartThread launches an application thread on a local tile with the
+	// given start clock.
+	StartThread func(st StartThread, start arch.Cycles)
+	// CollectStats snapshots the statistics of every local tile.
+	CollectStats func() []stats.Tile
+	// Flush writes back and drops all cached state of every local tile.
+	Flush func()
+	// Shutdown, if non-nil, is invoked when the MCP announces simulation
+	// teardown (used by worker OS processes to exit cleanly).
+	Shutdown func()
+}
+
+// LCP is the Local Control Program: one per host process. It executes
+// thread-start requests from the MCP and serves collection requests.
+type LCP struct {
+	proc    arch.ProcID
+	net     *network.Net
+	cb      LCPCallbacks
+	stopped chan struct{}
+}
+
+// NewLCP builds the LCP for one process. net must be registered on the
+// process's LCP endpoint.
+func NewLCP(proc arch.ProcID, net *network.Net, cb LCPCallbacks) *LCP {
+	return &LCP{proc: proc, net: net, cb: cb, stopped: make(chan struct{})}
+}
+
+// Stopped is closed when the serve loop exits.
+func (l *LCP) Stopped() <-chan struct{} { return l.stopped }
+
+// Serve is the LCP message loop; it exits when the network closes.
+func (l *LCP) Serve() {
+	defer close(l.stopped)
+	for {
+		pkt, ok := l.net.Recv(network.ClassSystem)
+		if !ok {
+			return
+		}
+		switch pkt.Type {
+		case MsgStartThread:
+			st, err := DecodeStartThread(pkt.Payload)
+			if err != nil {
+				panic("mcp: " + err.Error())
+			}
+			l.cb.StartThread(st, pkt.Time)
+		case MsgStatsGather:
+			tiles := l.cb.CollectStats()
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(tiles); err != nil {
+				panic("mcp: encode stats: " + err.Error())
+			}
+			if _, err := l.net.Send(network.ClassSystem, MsgStatsRep, pkt.Src, pkt.Seq, buf.Bytes(), 0); err != nil && !errors.Is(err, transport.ErrClosed) {
+				panic("mcp: stats reply: " + err.Error())
+			}
+		case MsgFlush:
+			l.cb.Flush()
+			if _, err := l.net.Send(network.ClassSystem, MsgFlushRep, pkt.Src, pkt.Seq, nil, 0); err != nil && !errors.Is(err, transport.ErrClosed) {
+				panic("mcp: flush reply: " + err.Error())
+			}
+		case MsgShutdown:
+			if l.cb.Shutdown != nil {
+				l.cb.Shutdown()
+			}
+		}
+	}
+}

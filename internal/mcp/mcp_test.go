@@ -1,0 +1,248 @@
+package mcp
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestAllocatorBasic(t *testing.T) {
+	a := NewAllocator(0x1000, 0x10000)
+	p1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != 0x1000 {
+		t.Fatalf("first alloc at %#x", uint64(p1))
+	}
+	if p1%allocAlign != 0 {
+		t.Fatal("unaligned allocation")
+	}
+	p2, _ := a.Alloc(1)
+	if p2 < p1+128 { // 100 rounds to 128
+		t.Fatalf("second alloc %#x overlaps first", uint64(p2))
+	}
+	if a.InUse() != 128+64 {
+		t.Fatalf("InUse = %d", a.InUse())
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p1); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := a.Free(0xDEAD); err == nil {
+		t.Fatal("bogus free accepted")
+	}
+}
+
+func TestAllocatorReusesFreedSpace(t *testing.T) {
+	a := NewAllocator(0, 1024)
+	p1, _ := a.Alloc(512)
+	if _, err := a.Alloc(512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(64); err == nil {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	a.Free(p1)
+	p3, err := a.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Fatalf("freed space not reused: %#x vs %#x", uint64(p3), uint64(p1))
+	}
+}
+
+func TestAllocatorCoalesces(t *testing.T) {
+	a := NewAllocator(0, 1024)
+	p1, _ := a.Alloc(256)
+	p2, _ := a.Alloc(256)
+	p3, _ := a.Alloc(256)
+	a.Free(p2)
+	a.Free(p1)
+	a.Free(p3)
+	if a.FreeSpans() != 1 {
+		t.Fatalf("free list fragmented into %d spans after full free", a.FreeSpans())
+	}
+	if _, err := a.Alloc(1024); err != nil {
+		t.Fatalf("coalesced heap cannot satisfy full-size alloc: %v", err)
+	}
+}
+
+func TestAllocatorPeak(t *testing.T) {
+	a := NewAllocator(0, 4096)
+	p1, _ := a.Alloc(1024)
+	a.Alloc(1024)
+	a.Free(p1)
+	if a.Peak() != 2048 {
+		t.Fatalf("peak = %d", a.Peak())
+	}
+	if a.InUse() != 1024 {
+		t.Fatalf("inUse = %d", a.InUse())
+	}
+}
+
+func TestAllocatorNeverOverlapsQuick(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewAllocator(0, 1<<20)
+		type block struct{ base, size arch.Addr }
+		var blocks []block
+		for _, s := range sizes {
+			sz := arch.Addr(s%2048) + 1
+			p, err := a.Alloc(sz)
+			if err != nil {
+				continue
+			}
+			for _, b := range blocks {
+				if p < b.base+b.size && b.base < p+sz {
+					return false
+				}
+			}
+			blocks = append(blocks, block{p, sz})
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSOpenReadWrite(t *testing.T) {
+	fs := NewFS()
+	rep := fs.Handle(FileReq{Op: FileOpen, Path: "/out.dat", Flags: OCreate})
+	if rep.Err != "" {
+		t.Fatal(rep.Err)
+	}
+	fd := rep.FD
+	if fd < 3 {
+		t.Fatalf("fd = %d", fd)
+	}
+	rep = fs.Handle(FileReq{Op: FileWrite, FD: fd, Data: []byte("hello ")})
+	if rep.Err != "" || rep.N != 6 {
+		t.Fatalf("write: %+v", rep)
+	}
+	fs.Handle(FileReq{Op: FileWrite, FD: fd, Data: []byte("world")})
+	// Seek to start and read back.
+	rep = fs.Handle(FileReq{Op: FileSeek, FD: fd, Off: 0, Whence: io.SeekStart})
+	if rep.Err != "" || rep.N != 0 {
+		t.Fatalf("seek: %+v", rep)
+	}
+	rep = fs.Handle(FileReq{Op: FileRead, FD: fd, N: 100})
+	if rep.Err != "" || string(rep.Data) != "hello world" {
+		t.Fatalf("read: %q %s", rep.Data, rep.Err)
+	}
+	// EOF.
+	rep = fs.Handle(FileReq{Op: FileRead, FD: fd, N: 10})
+	if rep.Err != "" || rep.N != 0 {
+		t.Fatalf("EOF read: %+v", rep)
+	}
+	if rep := fs.Handle(FileReq{Op: FileStat, FD: fd}); rep.N != 11 {
+		t.Fatalf("stat: %+v", rep)
+	}
+	if rep := fs.Handle(FileReq{Op: FileClose, FD: fd}); rep.Err != "" {
+		t.Fatal(rep.Err)
+	}
+	if fs.OpenFDs() != 0 {
+		t.Fatal("fd leaked")
+	}
+}
+
+func TestFSDescriptorSharingAcrossThreads(t *testing.T) {
+	// The consistency property of paper §3.4: one thread writes through an
+	// fd, another thread (possibly in another host process) reads through
+	// a second fd on the same path.
+	fs := NewFS()
+	w := fs.Handle(FileReq{Op: FileOpen, Path: "/shared", Flags: OCreate})
+	fs.Handle(FileReq{Op: FileWrite, FD: w.FD, Data: []byte("xyz")})
+	r := fs.Handle(FileReq{Op: FileOpen, Path: "/shared"})
+	rep := fs.Handle(FileReq{Op: FileRead, FD: r.FD, N: 3})
+	if string(rep.Data) != "xyz" {
+		t.Fatalf("cross-fd read = %q", rep.Data)
+	}
+	// And the very same fd value works from "another thread" (same table).
+	rep = fs.Handle(FileReq{Op: FileSeek, FD: w.FD, Off: 0, Whence: io.SeekStart})
+	if rep.Err != "" {
+		t.Fatal(rep.Err)
+	}
+	rep = fs.Handle(FileReq{Op: FileRead, FD: w.FD, N: 3})
+	if string(rep.Data) != "xyz" {
+		t.Fatalf("same-fd read = %q", rep.Data)
+	}
+}
+
+func TestFSErrors(t *testing.T) {
+	fs := NewFS()
+	if rep := fs.Handle(FileReq{Op: FileOpen, Path: "/missing"}); rep.Err == "" {
+		t.Fatal("open of missing file without O_CREATE succeeded")
+	}
+	if rep := fs.Handle(FileReq{Op: FileRead, FD: 99, N: 1}); rep.Err == "" {
+		t.Fatal("read on bad fd succeeded")
+	}
+	if rep := fs.Handle(FileReq{Op: FileWrite, FD: 99}); rep.Err == "" {
+		t.Fatal("write on bad fd succeeded")
+	}
+	if rep := fs.Handle(FileReq{Op: FileUnlink, Path: "/missing"}); rep.Err == "" {
+		t.Fatal("unlink of missing file succeeded")
+	}
+	if rep := fs.Handle(FileReq{Op: 200}); rep.Err == "" {
+		t.Fatal("unknown op succeeded")
+	}
+}
+
+func TestFSTruncAndAppend(t *testing.T) {
+	fs := NewFS()
+	a := fs.Handle(FileReq{Op: FileOpen, Path: "/f", Flags: OCreate})
+	fs.Handle(FileReq{Op: FileWrite, FD: a.FD, Data: []byte("0123456789")})
+	b := fs.Handle(FileReq{Op: FileOpen, Path: "/f", Flags: OTrunc})
+	if rep := fs.Handle(FileReq{Op: FileStat, FD: b.FD}); rep.N != 0 {
+		t.Fatalf("O_TRUNC left %d bytes", rep.N)
+	}
+	fs.Handle(FileReq{Op: FileWrite, FD: b.FD, Data: []byte("ab")})
+	c := fs.Handle(FileReq{Op: FileOpen, Path: "/f", Flags: OAppend})
+	fs.Handle(FileReq{Op: FileWrite, FD: c.FD, Data: []byte("cd")})
+	r := fs.Handle(FileReq{Op: FileOpen, Path: "/f"})
+	rep := fs.Handle(FileReq{Op: FileRead, FD: r.FD, N: 10})
+	if string(rep.Data) != "abcd" {
+		t.Fatalf("append result = %q", rep.Data)
+	}
+}
+
+func TestMsgCodecs(t *testing.T) {
+	sr, err := DecodeSpawnReq(EncodeSpawnReq(SpawnReq{Func: 7, Arg: 0xDEADBEEF}))
+	if err != nil || sr.Func != 7 || sr.Arg != 0xDEADBEEF {
+		t.Fatalf("spawn codec: %+v %v", sr, err)
+	}
+	st, err := DecodeStartThread(EncodeStartThread(StartThread{Tile: 5, Func: 2, Arg: 9}))
+	if err != nil || st.Tile != 5 || st.Func != 2 || st.Arg != 9 {
+		t.Fatalf("start codec: %+v %v", st, err)
+	}
+	v, err := DecodeU64(EncodeU64(42))
+	if err != nil || v != 42 {
+		t.Fatal("u64 codec")
+	}
+	x, y, err := DecodeU64Pair(EncodeU64Pair(1, 2))
+	if err != nil || x != 1 || y != 2 {
+		t.Fatal("pair codec")
+	}
+	if _, err := DecodeSpawnReq(nil); err == nil {
+		t.Fatal("decoded nil spawn")
+	}
+	if _, err := DecodeU64([]byte{1}); err == nil {
+		t.Fatal("decoded short u64")
+	}
+	if _, _, err := DecodeU64Pair([]byte{1}); err == nil {
+		t.Fatal("decoded short pair")
+	}
+	if _, err := DecodeStartThread([]byte{1}); err == nil {
+		t.Fatal("decoded short start")
+	}
+	for m := uint8(0); m <= MsgFlushRep; m++ {
+		if MsgName(m) == "" {
+			t.Fatal("empty message name")
+		}
+	}
+}

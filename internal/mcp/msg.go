@@ -1,0 +1,182 @@
+// Package mcp implements Graphite's simulation control plane (paper §2.2,
+// §3.4, §3.5): the Master Control Program — one per simulation, hosted by
+// process 0 — and the Local Control Program, one per host process.
+//
+// The MCP provides the services that preserve the illusion of a single
+// process across distributed host processes:
+//
+//   - thread management: spawn requests are forwarded to the MCP, which
+//     picks an available tile and asks the owning process's LCP to start
+//     the thread; joins synchronize through the MCP;
+//   - synchronization: the futex-style services behind application
+//     mutexes, barriers, and condition variables, keyed by simulated
+//     address;
+//   - dynamic memory management: brk/mmap-equivalent allocation from the
+//     heap segment of the single application address space;
+//   - consistent file I/O: a simulation-wide file table so threads in
+//     different host processes can pass file descriptors to each other;
+//   - the LaxBarrier epoch service used by the quanta-based
+//     synchronization model.
+//
+// All services communicate over ClassSystem packets, which ride the
+// zero-delay "magic" network so control traffic never perturbs simulated
+// time. Simulated timestamps for synchronization events travel in the
+// packet Time field.
+package mcp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// System message types (network.Packet.Type within ClassSystem).
+const (
+	// MsgClockProbe / MsgClockProbeRep implement LaxP2P partner probes;
+	// they are answered directly by the target tile's system router, not
+	// by the MCP.
+	MsgClockProbe uint8 = iota
+	MsgClockProbeRep
+
+	// Thread management (tile <-> MCP, MCP -> LCP).
+	MsgSpawn
+	MsgSpawnRep
+	MsgJoin
+	MsgJoinRep
+	MsgThreadExit
+	MsgStartThread
+
+	// Application synchronization (futex-style services).
+	MsgMutexLock
+	MsgMutexLockRep
+	MsgMutexUnlock
+	MsgBarrierWait
+	MsgBarrierRep
+	MsgCondWait
+	MsgCondRep
+	MsgCondSignal
+	MsgCondBroadcast
+
+	// Dynamic memory management.
+	MsgMalloc
+	MsgMallocRep
+	MsgFree
+
+	// LaxBarrier epoch service.
+	MsgSimBarrier
+	MsgSimBarrierRep
+
+	// File I/O forwarding (gob payloads).
+	MsgFileOp
+	MsgFileRep
+
+	// Collection and teardown (MCP <-> LCP).
+	MsgStatsGather
+	MsgStatsRep
+	MsgFlush
+	MsgFlushRep
+	MsgShutdown
+)
+
+// MsgName returns a human-readable message name for diagnostics.
+func MsgName(t uint8) string {
+	names := []string{
+		"ClockProbe", "ClockProbeRep", "Spawn", "SpawnRep", "Join",
+		"JoinRep", "ThreadExit", "StartThread", "MutexLock", "MutexLockRep",
+		"MutexUnlock", "BarrierWait", "BarrierRep", "CondWait", "CondRep",
+		"CondSignal", "CondBroadcast", "Malloc", "MallocRep", "Free",
+		"SimBarrier", "SimBarrierRep", "FileOp", "FileRep", "StatsGather",
+		"StatsRep", "Flush", "FlushRep", "Shutdown",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("sys(%d)", t)
+}
+
+// SpawnReq asks the MCP to start a thread running registered function
+// Func with argument Arg. Time (the parent's clock) rides Packet.Time.
+type SpawnReq struct {
+	Func uint32
+	Arg  uint64
+}
+
+// EncodeSpawnReq serializes a SpawnReq.
+func EncodeSpawnReq(r SpawnReq) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint32(b[0:4], r.Func)
+	binary.LittleEndian.PutUint64(b[4:12], r.Arg)
+	return b
+}
+
+// DecodeSpawnReq parses a SpawnReq.
+func DecodeSpawnReq(b []byte) (SpawnReq, error) {
+	if len(b) != 12 {
+		return SpawnReq{}, fmt.Errorf("mcp: bad SpawnReq (%d bytes)", len(b))
+	}
+	return SpawnReq{
+		Func: binary.LittleEndian.Uint32(b[0:4]),
+		Arg:  binary.LittleEndian.Uint64(b[4:12]),
+	}, nil
+}
+
+// StartThread tells an LCP to launch a thread on one of its tiles.
+type StartThread struct {
+	Tile arch.TileID
+	Func uint32
+	Arg  uint64
+}
+
+// EncodeStartThread serializes a StartThread.
+func EncodeStartThread(r StartThread) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(int32(r.Tile)))
+	binary.LittleEndian.PutUint32(b[4:8], r.Func)
+	binary.LittleEndian.PutUint64(b[8:16], r.Arg)
+	return b
+}
+
+// DecodeStartThread parses a StartThread.
+func DecodeStartThread(b []byte) (StartThread, error) {
+	if len(b) != 16 {
+		return StartThread{}, fmt.Errorf("mcp: bad StartThread (%d bytes)", len(b))
+	}
+	return StartThread{
+		Tile: arch.TileID(int32(binary.LittleEndian.Uint32(b[0:4]))),
+		Func: binary.LittleEndian.Uint32(b[4:8]),
+		Arg:  binary.LittleEndian.Uint64(b[8:16]),
+	}, nil
+}
+
+// EncodeU64 serializes one uint64 (thread IDs, addresses, epochs, sizes).
+func EncodeU64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// DecodeU64 parses one uint64.
+func DecodeU64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("mcp: bad u64 payload (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// EncodeU64Pair serializes two uint64s (cond/mutex address pairs,
+// barrier address + count).
+func EncodeU64Pair(a, b uint64) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:8], a)
+	binary.LittleEndian.PutUint64(buf[8:16], b)
+	return buf
+}
+
+// DecodeU64Pair parses two uint64s.
+func DecodeU64Pair(buf []byte) (a, b uint64, err error) {
+	if len(buf) != 16 {
+		return 0, 0, fmt.Errorf("mcp: bad u64 pair (%d bytes)", len(buf))
+	}
+	return binary.LittleEndian.Uint64(buf[0:8]), binary.LittleEndian.Uint64(buf[8:16]), nil
+}

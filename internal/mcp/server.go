@@ -1,0 +1,551 @@
+package mcp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// replyTo addresses a blocked requester.
+type replyTo struct {
+	src arch.TileID
+	seq uint64
+}
+
+// threadRec tracks one application thread (thread ID == tile ID).
+type threadRec struct {
+	exited   bool
+	exitTime arch.Cycles
+	joiners  []replyTo
+}
+
+type lockWaiter struct {
+	to        replyTo
+	t         arch.Cycles
+	replyType uint8 // MsgMutexLockRep or MsgCondRep
+}
+
+type mutexRec struct {
+	locked   bool
+	lastFree arch.Cycles
+	queue    []lockWaiter
+}
+
+type barrierWaiter struct {
+	to replyTo
+	t  arch.Cycles
+}
+
+type barrierRec struct {
+	waiters []barrierWaiter
+}
+
+type condWaiter struct {
+	to    replyTo
+	t     arch.Cycles
+	mutex arch.Addr
+}
+
+type condRec struct {
+	waiters []condWaiter
+}
+
+type simWait struct {
+	epoch int64
+	to    replyTo
+}
+
+// Server is the Master Control Program. Exactly one exists per simulation,
+// on host process 0. Run Serve in its own goroutine; it exits when the
+// network closes.
+type Server struct {
+	cfg   *config.Config
+	net   *network.Net
+	alloc *Allocator
+	fs    *FS
+
+	threads     map[arch.ThreadID]*threadRec
+	tileBusy    []bool
+	running     int
+	everStarted bool
+	blocked     map[arch.TileID]bool
+
+	mutexes  map[arch.Addr]*mutexRec
+	barriers map[arch.Addr]*barrierRec
+	conds    map[arch.Addr]*condRec
+
+	simWaits map[arch.TileID]*simWait
+
+	statsCh chan []stats.Tile
+	flushCh chan struct{}
+	doneCh  chan struct{}
+	stopped chan struct{}
+}
+
+// NewServer builds the MCP. net must be registered on the MCP endpoint.
+func NewServer(cfg *config.Config, net *network.Net) *Server {
+	return &Server{
+		cfg:      cfg,
+		net:      net,
+		alloc:    NewAllocator(cfg.AS.HeapBase, cfg.AS.HeapSize),
+		fs:       NewFS(),
+		threads:  make(map[arch.ThreadID]*threadRec),
+		tileBusy: make([]bool, cfg.Tiles),
+		blocked:  make(map[arch.TileID]bool),
+		mutexes:  make(map[arch.Addr]*mutexRec),
+		barriers: make(map[arch.Addr]*barrierRec),
+		conds:    make(map[arch.Addr]*condRec),
+		simWaits: make(map[arch.TileID]*simWait),
+		statsCh:  make(chan []stats.Tile, cfg.Processes),
+		flushCh:  make(chan struct{}, cfg.Processes),
+		doneCh:   make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+}
+
+// Done is closed when every application thread has exited.
+func (s *Server) Done() <-chan struct{} { return s.doneCh }
+
+// Stopped is closed when the serve loop exits.
+func (s *Server) Stopped() <-chan struct{} { return s.stopped }
+
+// StartMain launches the application's main thread (function 0, argument
+// arg) on the lowest-numbered tile at simulated time 0. It must be called
+// once, after Serve is running.
+func (s *Server) StartMain(arg uint64) error {
+	tile := s.pickTile()
+	if tile == arch.InvalidTile {
+		return fmt.Errorf("mcp: no tile available for main")
+	}
+	s.threads[arch.ThreadID(tile)] = &threadRec{}
+	s.running++
+	s.everStarted = true
+	s.sendToLCP(tile, StartThread{Tile: tile, Func: 0, Arg: arg}, 0)
+	return nil
+}
+
+func (s *Server) pickTile() arch.TileID {
+	for i, busy := range s.tileBusy {
+		if !busy {
+			s.tileBusy[i] = true
+			return arch.TileID(i)
+		}
+	}
+	return arch.InvalidTile
+}
+
+func (s *Server) sendToLCP(tile arch.TileID, st StartThread, when arch.Cycles) {
+	proc := s.cfg.ProcOf(tile)
+	dst := arch.TileID(transport.LCP(proc))
+	if _, err := s.net.Send(network.ClassSystem, MsgStartThread, dst, 0, EncodeStartThread(st), when); err != nil && !errors.Is(err, transport.ErrClosed) {
+		panic("mcp: send to LCP failed: " + err.Error())
+	}
+}
+
+func (s *Server) reply(typ uint8, to replyTo, payload []byte, when arch.Cycles) {
+	// Replies racing teardown (transport closed) are dropped; the waiting
+	// thread is being torn down with the fabric.
+	if _, err := s.net.Send(network.ClassSystem, typ, to.src, to.seq, payload, when); err != nil && !errors.Is(err, transport.ErrClosed) {
+		panic("mcp: reply failed: " + err.Error())
+	}
+}
+
+// Serve is the MCP message loop.
+func (s *Server) Serve() {
+	defer close(s.stopped)
+	for {
+		pkt, ok := s.net.Recv(network.ClassSystem)
+		if !ok {
+			return
+		}
+		s.handle(pkt)
+	}
+}
+
+func (s *Server) handle(pkt network.Packet) {
+	to := replyTo{src: pkt.Src, seq: pkt.Seq}
+	switch pkt.Type {
+	case MsgSpawn:
+		s.handleSpawn(pkt, to)
+	case MsgThreadExit:
+		s.handleThreadExit(pkt)
+	case MsgJoin:
+		s.handleJoin(pkt, to)
+	case MsgMutexLock:
+		s.handleMutexLock(pkt, to)
+	case MsgMutexUnlock:
+		s.handleMutexUnlock(pkt)
+	case MsgBarrierWait:
+		s.handleBarrierWait(pkt, to)
+	case MsgCondWait:
+		s.handleCondWait(pkt, to)
+	case MsgCondSignal:
+		s.handleCondSignal(pkt, false)
+	case MsgCondBroadcast:
+		s.handleCondSignal(pkt, true)
+	case MsgMalloc:
+		s.handleMalloc(pkt, to)
+	case MsgFree:
+		s.handleFree(pkt)
+	case MsgSimBarrier:
+		s.handleSimBarrier(pkt, to)
+	case MsgFileOp:
+		s.handleFileOp(pkt, to)
+	case MsgStatsRep:
+		var tiles []stats.Tile
+		dec := gob.NewDecoder(bytes.NewReader(pkt.Payload))
+		if err := dec.Decode(&tiles); err != nil {
+			panic("mcp: bad stats payload: " + err.Error())
+		}
+		s.statsCh <- tiles
+	case MsgFlushRep:
+		s.flushCh <- struct{}{}
+	}
+}
+
+func (s *Server) handleSpawn(pkt network.Packet, to replyTo) {
+	req, err := DecodeSpawnReq(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	tile := s.pickTile()
+	if tile == arch.InvalidTile {
+		// The paper's limit: live threads may not exceed tiles.
+		s.reply(MsgSpawnRep, to, EncodeU64Pair(^uint64(0), 0), pkt.Time)
+		return
+	}
+	s.threads[arch.ThreadID(tile)] = &threadRec{}
+	s.running++
+	s.everStarted = true
+	start := pkt.Time + s.cfg.Costs.Spawn
+	s.sendToLCP(tile, StartThread{Tile: tile, Func: req.Func, Arg: req.Arg}, start)
+	s.reply(MsgSpawnRep, to, EncodeU64Pair(uint64(tile), uint64(start)), start)
+}
+
+func (s *Server) handleThreadExit(pkt network.Packet) {
+	tid := arch.ThreadID(pkt.Src)
+	rec := s.threads[tid]
+	if rec == nil || rec.exited {
+		return
+	}
+	rec.exited = true
+	rec.exitTime = pkt.Time
+	for _, j := range rec.joiners {
+		s.reply(MsgJoinRep, j, EncodeU64(uint64(rec.exitTime)), rec.exitTime)
+		s.unblock(j.src)
+	}
+	rec.joiners = nil
+	s.tileBusy[pkt.Src] = false
+	s.running--
+	delete(s.simWaits, pkt.Src)
+	s.recheckSimBarrier()
+	if s.running == 0 && s.everStarted {
+		select {
+		case <-s.doneCh:
+		default:
+			close(s.doneCh)
+		}
+	}
+}
+
+func (s *Server) handleJoin(pkt network.Packet, to replyTo) {
+	tid64, err := DecodeU64(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	rec := s.threads[arch.ThreadID(tid64)]
+	if rec == nil {
+		s.reply(MsgJoinRep, to, EncodeU64(0), pkt.Time)
+		return
+	}
+	if rec.exited {
+		t := rec.exitTime
+		if pkt.Time > t {
+			t = pkt.Time
+		}
+		s.reply(MsgJoinRep, to, EncodeU64(uint64(rec.exitTime)), t)
+		return
+	}
+	rec.joiners = append(rec.joiners, to)
+	s.block(pkt.Src)
+}
+
+func (s *Server) mutex(addr arch.Addr) *mutexRec {
+	m := s.mutexes[addr]
+	if m == nil {
+		m = &mutexRec{}
+		s.mutexes[addr] = m
+	}
+	return m
+}
+
+func (s *Server) handleMutexLock(pkt network.Packet, to replyTo) {
+	addr64, err := DecodeU64(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	m := s.mutex(arch.Addr(addr64))
+	if !m.locked {
+		m.locked = true
+		grant := pkt.Time
+		if m.lastFree > grant {
+			grant = m.lastFree
+		}
+		grant += s.cfg.Costs.Mutex
+		s.reply(MsgMutexLockRep, to, nil, grant)
+		return
+	}
+	m.queue = append(m.queue, lockWaiter{to: to, t: pkt.Time, replyType: MsgMutexLockRep})
+	s.block(pkt.Src)
+}
+
+func (s *Server) handleMutexUnlock(pkt network.Packet) {
+	addr64, err := DecodeU64(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	m := s.mutex(arch.Addr(addr64))
+	s.releaseMutex(m, pkt.Time)
+}
+
+// releaseMutex hands the mutex to the next waiter or marks it free.
+func (s *Server) releaseMutex(m *mutexRec, t arch.Cycles) {
+	if len(m.queue) == 0 {
+		m.locked = false
+		if t > m.lastFree {
+			m.lastFree = t
+		}
+		return
+	}
+	w := m.queue[0]
+	m.queue = m.queue[1:]
+	grant := w.t
+	if t > grant {
+		grant = t
+	}
+	grant += s.cfg.Costs.Mutex
+	s.reply(w.replyType, w.to, nil, grant)
+	s.unblock(w.to.src)
+}
+
+func (s *Server) handleBarrierWait(pkt network.Packet, to replyTo) {
+	addr64, n64, err := DecodeU64Pair(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	b := s.barriers[arch.Addr(addr64)]
+	if b == nil {
+		b = &barrierRec{}
+		s.barriers[arch.Addr(addr64)] = b
+	}
+	b.waiters = append(b.waiters, barrierWaiter{to: to, t: pkt.Time})
+	if uint64(len(b.waiters)) < n64 {
+		s.block(pkt.Src)
+		return
+	}
+	// Last arrival releases everyone at max(arrival times) + cost.
+	release := arch.Cycles(0)
+	for _, w := range b.waiters {
+		if w.t > release {
+			release = w.t
+		}
+	}
+	release += s.cfg.Costs.Barrier
+	for _, w := range b.waiters {
+		s.reply(MsgBarrierRep, w.to, nil, release)
+		if w.to.src != pkt.Src {
+			s.unblock(w.to.src)
+		}
+	}
+	delete(s.barriers, arch.Addr(addr64))
+}
+
+func (s *Server) handleCondWait(pkt network.Packet, to replyTo) {
+	cond64, mutex64, err := DecodeU64Pair(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	// Atomically release the mutex and sleep.
+	s.releaseMutex(s.mutex(arch.Addr(mutex64)), pkt.Time)
+	c := s.conds[arch.Addr(cond64)]
+	if c == nil {
+		c = &condRec{}
+		s.conds[arch.Addr(cond64)] = c
+	}
+	c.waiters = append(c.waiters, condWaiter{to: to, t: pkt.Time, mutex: arch.Addr(mutex64)})
+	s.block(pkt.Src)
+}
+
+func (s *Server) handleCondSignal(pkt network.Packet, broadcast bool) {
+	cond64, err := DecodeU64(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	c := s.conds[arch.Addr(cond64)]
+	if c == nil || len(c.waiters) == 0 {
+		return
+	}
+	n := 1
+	if broadcast {
+		n = len(c.waiters)
+	}
+	for i := 0; i < n; i++ {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		t := w.t
+		if pkt.Time > t {
+			t = pkt.Time
+		}
+		t += s.cfg.Costs.Cond
+		// The woken thread re-acquires its mutex before returning.
+		m := s.mutex(w.mutex)
+		if !m.locked {
+			m.locked = true
+			grant := t
+			if m.lastFree > grant {
+				grant = m.lastFree
+			}
+			grant += s.cfg.Costs.Mutex
+			s.reply(MsgCondRep, w.to, nil, grant)
+			s.unblock(w.to.src)
+		} else {
+			m.queue = append(m.queue, lockWaiter{to: w.to, t: t, replyType: MsgCondRep})
+			// Still blocked: now on the mutex queue.
+		}
+	}
+}
+
+func (s *Server) handleMalloc(pkt network.Packet, to replyTo) {
+	size64, err := DecodeU64(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	addr, aerr := s.alloc.Alloc(arch.Addr(size64))
+	if aerr != nil {
+		s.reply(MsgMallocRep, to, EncodeU64(0), pkt.Time+s.cfg.Costs.Malloc)
+		return
+	}
+	s.reply(MsgMallocRep, to, EncodeU64(uint64(addr)), pkt.Time+s.cfg.Costs.Malloc)
+}
+
+func (s *Server) handleFree(pkt network.Packet) {
+	addr64, err := DecodeU64(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	// Double frees indicate an application bug; surface loudly.
+	if ferr := s.alloc.Free(arch.Addr(addr64)); ferr != nil {
+		panic(ferr)
+	}
+}
+
+func (s *Server) handleSimBarrier(pkt network.Packet, to replyTo) {
+	epoch64, err := DecodeU64(pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	s.simWaits[pkt.Src] = &simWait{epoch: int64(epoch64), to: to}
+	s.recheckSimBarrier()
+}
+
+// recheckSimBarrier releases the lowest pending LaxBarrier epoch once
+// every running, unblocked thread is waiting on the barrier. Threads
+// blocked in MCP services (mutex queues, joins, condition waits) are not
+// advancing their clocks and are excluded, which keeps the quanta barrier
+// deadlock-free.
+func (s *Server) recheckSimBarrier() {
+	if len(s.simWaits) == 0 {
+		return
+	}
+	active := s.running - len(s.blocked)
+	if len(s.simWaits) < active {
+		return
+	}
+	min := int64(1<<62 - 1)
+	for _, w := range s.simWaits {
+		if w.epoch < min {
+			min = w.epoch
+		}
+	}
+	for tile, w := range s.simWaits {
+		if w.epoch == min {
+			s.reply(MsgSimBarrierRep, w.to, nil, 0)
+			delete(s.simWaits, tile)
+		}
+	}
+}
+
+func (s *Server) handleFileOp(pkt network.Packet, to replyTo) {
+	var req FileReq
+	dec := gob.NewDecoder(bytes.NewReader(pkt.Payload))
+	if err := dec.Decode(&req); err != nil {
+		panic("mcp: bad file payload: " + err.Error())
+	}
+	rep := s.fs.Handle(req)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rep); err != nil {
+		panic("mcp: encode file reply: " + err.Error())
+	}
+	s.reply(MsgFileRep, to, buf.Bytes(), pkt.Time+s.cfg.Costs.File)
+}
+
+func (s *Server) block(tile arch.TileID) {
+	s.blocked[tile] = true
+	s.recheckSimBarrier()
+}
+
+func (s *Server) unblock(tile arch.TileID) {
+	delete(s.blocked, tile)
+}
+
+// GatherStats asks every LCP for its tiles' records and returns them all,
+// ordered by tile ID. Call only after the application has finished.
+func (s *Server) GatherStats() []stats.Tile {
+	for p := 0; p < s.cfg.Processes; p++ {
+		dst := arch.TileID(transport.LCP(arch.ProcID(p)))
+		if _, err := s.net.Send(network.ClassSystem, MsgStatsGather, dst, 0, nil, 0); err != nil {
+			panic("mcp: stats gather send: " + err.Error())
+		}
+	}
+	var all []stats.Tile
+	for p := 0; p < s.cfg.Processes; p++ {
+		all = append(all, <-s.statsCh...)
+	}
+	byTile := make([]stats.Tile, s.cfg.Tiles)
+	for _, t := range all {
+		if int(t.TileID) < len(byTile) {
+			byTile[t.TileID] = t
+		}
+	}
+	return byTile
+}
+
+// ShutdownWorkers announces teardown to every LCP. Worker OS processes
+// use it to exit; in-process simulations ignore it.
+func (s *Server) ShutdownWorkers() {
+	for p := 0; p < s.cfg.Processes; p++ {
+		dst := arch.TileID(transport.LCP(arch.ProcID(p)))
+		s.net.Send(network.ClassSystem, MsgShutdown, dst, 0, nil, 0)
+	}
+}
+
+// FlushCaches asks every LCP to flush its tiles' caches and waits for
+// completion. Call only after the application has finished.
+func (s *Server) FlushCaches() {
+	for p := 0; p < s.cfg.Processes; p++ {
+		dst := arch.TileID(transport.LCP(arch.ProcID(p)))
+		if _, err := s.net.Send(network.ClassSystem, MsgFlush, dst, 0, nil, 0); err != nil {
+			panic("mcp: flush send: " + err.Error())
+		}
+	}
+	for p := 0; p < s.cfg.Processes; p++ {
+		<-s.flushCh
+	}
+}

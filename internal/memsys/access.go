@@ -1,0 +1,284 @@
+package memsys
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+)
+
+// AccessResult reports the modeled timing of one memory reference.
+type AccessResult struct {
+	// Latency is the end-to-end modeled latency in cycles.
+	Latency arch.Cycles
+	// L2Misses counts line segments that left the tile.
+	L2Misses int
+}
+
+// Read performs an application load of len(buf) bytes at addr, filling buf
+// with the loaded data. now is the core's current clock. The call blocks
+// until the coherence protocol delivers the data.
+func (n *Node) Read(addr arch.Addr, buf []byte, now arch.Cycles) AccessResult {
+	return n.access(addr, buf, false, false, now)
+}
+
+// Write performs an application store of buf at addr.
+func (n *Node) Write(addr arch.Addr, buf []byte, now arch.Cycles) AccessResult {
+	return n.access(addr, buf, true, false, now)
+}
+
+// Fetch models an instruction fetch of n bytes at pc through the L1I.
+func (n *Node) Fetch(pc arch.Addr, nbytes int, now arch.Cycles) AccessResult {
+	buf := make([]byte, nbytes)
+	return n.access(pc, buf, false, true, now)
+}
+
+// access splits a reference into per-line segments and performs each.
+func (n *Node) access(addr arch.Addr, buf []byte, isWrite, ifetch bool, now arch.Cycles) AccessResult {
+	var res AccessResult
+	off := 0
+	for off < len(buf) {
+		lineStart := int(uint64(addr+arch.Addr(off)) & (uint64(n.lineSize) - 1))
+		seg := n.lineSize - lineStart
+		if seg > len(buf)-off {
+			seg = len(buf) - off
+		}
+		r := n.accessLine(addr+arch.Addr(off), buf[off:off+seg], isWrite, ifetch, now+res.Latency)
+		res.Latency += r.Latency
+		res.L2Misses += r.L2Misses
+		off += seg
+	}
+	return res
+}
+
+// accessLine performs one within-line reference.
+func (n *Node) accessLine(addr arch.Addr, seg []byte, isWrite, ifetch bool, now arch.Cycles) AccessResult {
+	line := n.lineOf(addr)
+	off := int(uint64(addr) & (uint64(n.lineSize) - 1))
+	mask := cache.WordMask(off, len(seg), n.lineSize)
+
+	n.mu.Lock()
+	if isWrite {
+		n.st.Stores++
+	} else if !ifetch {
+		n.st.Loads++
+	}
+
+	if !isWrite {
+		// Loads: L1 first.
+		l1 := n.l1d
+		if ifetch {
+			l1 = n.l1i
+		}
+		if l1 != nil {
+			if ln := l1.Lookup(line); ln != nil {
+				copy(seg, ln.Data[off:off+len(seg)])
+				lat := l1.HitLatency()
+				n.mu.Unlock()
+				return AccessResult{Latency: lat}
+			}
+		}
+		// L1 miss (or no L1): L2.
+		if ln := n.l2.Lookup(line); ln != nil {
+			copy(seg, ln.Data[off:off+len(seg)])
+			lat := n.l2.HitLatency()
+			if l1 != nil {
+				lat += l1.HitLatency()
+				l1.Insert(line, cache.Shared, ln.Data) // silent L1 fill
+			}
+			n.mu.Unlock()
+			return AccessResult{Latency: lat}
+		}
+		// L2 miss: fetch a Shared copy from home.
+		return n.miss(line, off, seg, mask, false, ifetch, now)
+	}
+
+	// Stores: need Modified at L2 (write-through L1).
+	if ln := n.l2.Lookup(line); ln != nil {
+		if ln.State == cache.Modified {
+			pr := &pendingReq{line: line, off: off, wbuf: seg, mask: mask}
+			n.applyWrite(ln, pr)
+			lat := n.l2.HitLatency()
+			n.mu.Unlock()
+			return AccessResult{Latency: lat}
+		}
+		// Shared: upgrade.
+		return n.miss(line, off, seg, mask, true, false, now)
+	}
+	// Write miss.
+	return n.miss(line, off, seg, mask, true, false, now)
+}
+
+// miss issues the coherence request and blocks for completion. Called with
+// n.mu held; it unlocks before blocking.
+func (n *Node) miss(line cache.LineAddr, off int, seg []byte, mask uint64, isWrite, ifetch bool, now arch.Cycles) AccessResult {
+	if n.pending != nil {
+		n.mu.Unlock()
+		panic("memsys: concurrent outstanding requests on one tile")
+	}
+	lookup := n.l2.HitLatency() // tag lookup before going off-tile
+	if !isWrite && !ifetch && n.l1d != nil {
+		lookup += n.l1d.HitLatency()
+	}
+	if ifetch && n.l1i != nil {
+		lookup += n.l1i.HitLatency()
+	}
+	sendAt := now + lookup
+
+	n.seq++
+	pr := &pendingReq{
+		seq:     n.seq,
+		line:    line,
+		isWrite: isWrite,
+		ifetch:  ifetch,
+		off:     off,
+		mask:    mask,
+		sentAt:  sendAt,
+		done:    make(chan replyInfo, 1),
+	}
+	req := reqPayload{line: uint64(line), mask: mask}
+	typ := msgShReq
+	if isWrite {
+		typ = msgExReq
+		pr.wbuf = seg
+		if ln := n.l2.Peek(line); ln != nil && ln.State == cache.Shared {
+			req.flags |= flagUpgrade
+		}
+	} else {
+		pr.rbuf = seg
+		if ifetch {
+			req.flags |= flagIFetch
+		}
+	}
+	n.pending = pr
+	home := n.homeOf(line)
+	n.send(typ, home, pr.seq, encodeReq(req), sendAt)
+	n.mu.Unlock()
+
+	info := <-pr.done
+	lat := info.arrival - now
+	if lat < lookup {
+		lat = lookup
+	}
+	// Fill/install cost at the end of the miss.
+	lat += n.l2.HitLatency()
+	return AccessResult{Latency: lat, L2Misses: 1}
+}
+
+// FlushAll writes back every Modified line and drops all cached state,
+// then waits until every writeback has been applied at its home. It is
+// called at simulation end so that Peek observes final memory contents
+// (and, like everything else here, it exercises the protocol itself).
+func (n *Node) FlushAll(now arch.Cycles) {
+	n.mu.Lock()
+	type victimCopy struct {
+		addr  cache.LineAddr
+		state cache.State
+		mask  uint64
+		data  []byte
+	}
+	var lines []victimCopy
+	n.l2.ForEach(func(l *cache.Line) {
+		lines = append(lines, victimCopy{addr: l.Addr, state: l.State, mask: l.WriteMask, data: cloneBytes(l.Data)})
+	})
+	for _, v := range lines {
+		n.l2.Invalidate(v.addr)
+		n.invL1(v.addr)
+		home := n.homeOf(v.addr)
+		if v.state == cache.Modified {
+			n.outstandingWB.Add(1)
+			pay := dataPayload{line: uint64(v.addr), mask: v.mask, writer: n.tile, flags: flagHasData, data: v.data}
+			n.send(msgEvictM, home, 0, encodeData(pay), now)
+		} else {
+			n.send(msgEvictS, home, 0, encodeLine(uint64(v.addr)), now)
+		}
+	}
+	n.mu.Unlock()
+
+	for n.outstandingWB.Load() > 0 {
+		select {
+		case <-n.wbDrained:
+		case <-n.stopped:
+			return
+		}
+	}
+}
+
+// Peek reads len(buf) bytes functionally (no timing, no caching) from the
+// simulated address space. Valid only pre-run or post-FlushAll.
+func (n *Node) Peek(addr arch.Addr, buf []byte) {
+	off := 0
+	for off < len(buf) {
+		lineStart := int(uint64(addr+arch.Addr(off)) & (uint64(n.lineSize) - 1))
+		seg := n.lineSize - lineStart
+		if seg > len(buf)-off {
+			seg = len(buf) - off
+		}
+		n.peekLine(addr+arch.Addr(off), buf[off:off+seg])
+		off += seg
+	}
+}
+
+// Poke writes buf functionally into the simulated address space. Valid
+// only pre-run or post-FlushAll.
+func (n *Node) Poke(addr arch.Addr, buf []byte) {
+	off := 0
+	for off < len(buf) {
+		lineStart := int(uint64(addr+arch.Addr(off)) & (uint64(n.lineSize) - 1))
+		seg := n.lineSize - lineStart
+		if seg > len(buf)-off {
+			seg = len(buf) - off
+		}
+		n.pokeLine(addr+arch.Addr(off), buf[off:off+seg])
+		off += seg
+	}
+}
+
+func (n *Node) peekLine(addr arch.Addr, buf []byte) {
+	n.mu.Lock()
+	if n.pending != nil {
+		n.mu.Unlock()
+		panic("memsys: Peek with outstanding request")
+	}
+	n.seq++
+	pr := &pendingReq{seq: n.seq, peek: true, done: make(chan replyInfo, 1)}
+	n.pending = pr
+	home := n.homeOf(n.lineOf(addr))
+	n.send(msgPeek, home, pr.seq, encodePeek(peekPayload{addr: addr, n: uint32(len(buf))}), 0)
+	n.mu.Unlock()
+	info := <-pr.done
+	copy(buf, info.data)
+}
+
+func (n *Node) pokeLine(addr arch.Addr, buf []byte) {
+	n.mu.Lock()
+	if n.pending != nil {
+		n.mu.Unlock()
+		panic("memsys: Poke with outstanding request")
+	}
+	n.seq++
+	pr := &pendingReq{seq: n.seq, poke: true, done: make(chan replyInfo, 1)}
+	n.pending = pr
+	home := n.homeOf(n.lineOf(addr))
+	n.send(msgPoke, home, pr.seq, encodePeek(peekPayload{addr: addr, n: uint32(len(buf)), data: buf}), 0)
+	n.mu.Unlock()
+	<-pr.done
+}
+
+// AddClock lets callers credit stall cycles to the tile's stat record.
+func (n *Node) AddSyncWait(c arch.Cycles) {
+	n.mu.Lock()
+	n.st.SyncWaitCycles += c
+	n.mu.Unlock()
+}
+
+// SetFinal records the tile's final clock and core-model counters into the
+// stats record before collection.
+func (n *Node) SetFinal(cycles arch.Cycles, instructions, branches, mispredicts uint64, compute, memStall arch.Cycles) {
+	n.mu.Lock()
+	n.st.Cycles = cycles
+	n.st.Instructions = instructions
+	n.st.Branches = branches
+	n.st.BranchMispredict = mispredicts
+	n.st.ComputeCycles = compute
+	n.st.MemStallCycles = memStall
+	n.mu.Unlock()
+}

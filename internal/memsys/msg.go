@@ -1,0 +1,183 @@
+// Package memsys implements the memory subsystem of a Graphite tile
+// (paper §3.2): the private L1 instruction/data caches and private L2, the
+// distributed directory (one shard per tile, lines striped across homes),
+// the per-tile DRAM controller, and the directory-based MSI coherence
+// protocol that ties them together over the memory network.
+//
+// Following the paper, the functional and modeled roles are unified: cache
+// lines and DRAM backing stores carry the application's real data, and
+// every load or store is served through the protocol. A simulation that
+// completes with correct program output therefore validates the protocol.
+//
+// Concurrency model. Each tile runs one memory server goroutine (Serve)
+// that processes all memory-class packets addressed to the tile — both in
+// its home/directory role and in its cache-controller role. The tile's
+// core thread issues at most one outstanding request at a time (one app
+// thread per tile). A single per-tile mutex guards the cache hierarchy;
+// every cache mutation and the protocol sends it implies happen under that
+// mutex, which yields clean message orderings over the per-sender-FIFO
+// transport (see the race analysis in DESIGN.md). Home directory state is
+// touched only by the server goroutine and needs no lock.
+package memsys
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Memory protocol message types (network.Packet.Type within ClassMemory).
+const (
+	// Requester -> home.
+	msgShReq  uint8 = iota // read miss: request Shared copy
+	msgExReq               // write miss or upgrade: request Modified
+	msgEvictS              // notify eviction of a Shared line
+	msgEvictM              // writeback eviction of a Modified line
+	msgPeek                // functional read (pre-run/post-flush only)
+	msgPoke                // functional write (pre-run/post-flush only)
+
+	// Home -> cache controller.
+	msgInvReq   // invalidate a Shared copy
+	msgWbReq    // downgrade Modified to Shared, send data home
+	msgFlushReq // invalidate Modified copy, send data home
+
+	// Cache controller -> home.
+	msgInvRep
+	msgWbRep
+	msgFlushRep
+
+	// Home -> requester.
+	msgShRep
+	msgExRep
+	msgUpgRep // exclusive grant without data (requester kept its S copy)
+
+	// Home -> evicting tile / peeker.
+	msgEvictAck
+	msgPeekRep
+	msgPokeAck
+)
+
+func msgName(t uint8) string {
+	names := []string{"ShReq", "ExReq", "EvictS", "EvictM", "Peek", "Poke",
+		"InvReq", "WbReq", "FlushReq", "InvRep", "WbRep", "FlushRep",
+		"ShRep", "ExRep", "UpgRep", "EvictAck", "PeekRep", "PokeAck"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("msg(%d)", t)
+}
+
+// Payload flag bits.
+const (
+	flagUpgrade    uint8 = 1 << 0 // ExReq: requester holds a Shared copy
+	flagNotPresent uint8 = 1 << 1 // replies: line was not present
+	flagHasData    uint8 = 1 << 2 // replies: payload carries line data
+	flagIFetch     uint8 = 1 << 3 // ShReq: instruction fetch (fills L1I)
+)
+
+// reqPayload is the body of ShReq/ExReq: line, access word-mask, flags.
+type reqPayload struct {
+	line  uint64
+	mask  uint64
+	flags uint8
+}
+
+func encodeReq(p reqPayload) []byte {
+	buf := make([]byte, 17)
+	binary.LittleEndian.PutUint64(buf[0:8], p.line)
+	binary.LittleEndian.PutUint64(buf[8:16], p.mask)
+	buf[16] = p.flags
+	return buf
+}
+
+func decodeReq(b []byte) (reqPayload, error) {
+	if len(b) != 17 {
+		return reqPayload{}, fmt.Errorf("memsys: bad request payload (%d bytes)", len(b))
+	}
+	return reqPayload{
+		line:  binary.LittleEndian.Uint64(b[0:8]),
+		mask:  binary.LittleEndian.Uint64(b[8:16]),
+		flags: b[16],
+	}, nil
+}
+
+// dataPayload is the body of data-bearing replies and writebacks:
+// line, write/last-writer mask, writer, flags, and optionally line data.
+type dataPayload struct {
+	line   uint64
+	mask   uint64
+	writer arch.TileID
+	flags  uint8
+	data   []byte
+}
+
+func encodeData(p dataPayload) []byte {
+	buf := make([]byte, 21+len(p.data))
+	binary.LittleEndian.PutUint64(buf[0:8], p.line)
+	binary.LittleEndian.PutUint64(buf[8:16], p.mask)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(int32(p.writer)))
+	buf[20] = p.flags
+	copy(buf[21:], p.data)
+	return buf
+}
+
+func decodeData(b []byte) (dataPayload, error) {
+	if len(b) < 21 {
+		return dataPayload{}, fmt.Errorf("memsys: bad data payload (%d bytes)", len(b))
+	}
+	p := dataPayload{
+		line:   binary.LittleEndian.Uint64(b[0:8]),
+		mask:   binary.LittleEndian.Uint64(b[8:16]),
+		writer: arch.TileID(int32(binary.LittleEndian.Uint32(b[16:20]))),
+		flags:  b[20],
+	}
+	if len(b) > 21 {
+		p.data = b[21:]
+	}
+	return p, nil
+}
+
+// ctrlPayload is the body of InvReq/WbReq/FlushReq/EvictS/EvictAck: just a
+// line address.
+func encodeLine(line uint64) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, line)
+	return buf
+}
+
+func decodeLine(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("memsys: bad line payload (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// peekPayload is the body of Peek/Poke requests and replies.
+type peekPayload struct {
+	addr arch.Addr
+	n    uint32
+	data []byte // Poke request and PeekRep carry data
+}
+
+func encodePeek(p peekPayload) []byte {
+	buf := make([]byte, 12+len(p.data))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(p.addr))
+	binary.LittleEndian.PutUint32(buf[8:12], p.n)
+	copy(buf[12:], p.data)
+	return buf
+}
+
+func decodePeek(b []byte) (peekPayload, error) {
+	if len(b) < 12 {
+		return peekPayload{}, fmt.Errorf("memsys: bad peek payload (%d bytes)", len(b))
+	}
+	p := peekPayload{
+		addr: arch.Addr(binary.LittleEndian.Uint64(b[0:8])),
+		n:    binary.LittleEndian.Uint32(b[8:12]),
+	}
+	if len(b) > 12 {
+		p.data = b[12:]
+	}
+	return p, nil
+}

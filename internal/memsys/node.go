@@ -1,0 +1,197 @@
+package memsys
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/directory"
+	"repro/internal/dram"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// replyInfo is what the server hands back to a core thread blocked on a
+// miss.
+type replyInfo struct {
+	// arrival is the simulated time the reply reached this tile.
+	arrival arch.Cycles
+	// kind classifies the miss.
+	kind stats.MissKind
+	// upgraded reports an S->M upgrade (counted separately from misses).
+	upgraded bool
+	// data is the peek result for peek requests.
+	data []byte
+}
+
+// pendingReq is the tile's single outstanding memory request. The server
+// completes it when the home's reply arrives: it inserts the line, applies
+// the operation under the hierarchy mutex, and signals done.
+type pendingReq struct {
+	seq     uint64
+	line    cache.LineAddr
+	isWrite bool
+	ifetch  bool
+	peek    bool
+	poke    bool
+	off     int    // byte offset within the line
+	wbuf    []byte // bytes to write (store)
+	rbuf    []byte // destination for loaded bytes
+	mask    uint64 // accessed-words mask
+	sentAt  arch.Cycles
+	done    chan replyInfo
+}
+
+// dirLine is the home-side state of one line: the directory entry, the
+// in-flight transaction if any, and requests queued behind it.
+type dirLine struct {
+	entry   *directory.Entry
+	busy    *txn
+	pending []network.Packet
+}
+
+// txn is one in-flight home transaction (blocking directory: one per line).
+type txn struct {
+	homeSeq   uint64 // matches sub-request replies
+	reqType   uint8  // msgShReq or msgExReq
+	requester arch.TileID
+	reqSeq    uint64 // requester's sequence number, echoed in the reply
+	reqMask   uint64
+	upgrade   bool
+	ifetch    bool
+	line      cache.LineAddr
+
+	waitAcks  int         // outstanding InvReps
+	waitData  bool        // outstanding WbRep/FlushRep
+	dataFrom  arch.TileID // tile the data is expected from
+	haveData  bool
+	data      []byte
+	dataMask  uint64 // accumulated write mask from the flushing owner
+	latest    arch.Cycles
+	trapExtra arch.Cycles // LimitLESS software trap cycles to charge
+}
+
+// Node is one tile's memory subsystem.
+type Node struct {
+	tile arch.TileID
+	cfg  *config.Config
+	net  *network.Net
+
+	// Cache hierarchy, guarded by mu. L1s may be nil (disabled).
+	mu  sync.Mutex
+	l1i *cache.Cache
+	l1d *cache.Cache
+	l2  *cache.Cache
+
+	// Home role, touched only by the server goroutine.
+	dir  map[cache.LineAddr]*dirLine
+	dram *dram.Controller
+
+	// Single outstanding core request, guarded by mu.
+	pending *pendingReq
+	seq     uint64
+	// homeSeq numbers home-side sub-requests (Inv/Wb/Flush), guarded by mu.
+	homeSeq uint64
+
+	// Miss classification state, guarded by mu.
+	everAccessed map[cache.LineAddr]struct{}
+	invalidated  map[cache.LineAddr]struct{}
+
+	// Outstanding modified-line writebacks (for FlushAll).
+	outstandingWB atomic.Int64
+	wbDrained     chan struct{} // signaled when outstandingWB may be zero
+
+	// Statistics, guarded by mu except DRAM fields (server-only).
+	st stats.Tile
+
+	lineBits uint
+	lineSize int
+
+	stopped chan struct{}
+}
+
+// NewNode builds the memory subsystem of one tile. progress feeds the DRAM
+// queue model; net must be the tile's network interface.
+func NewNode(tile arch.TileID, cfg *config.Config, net *network.Net, progress *clock.ProgressWindow) *Node {
+	n := &Node{
+		tile:         tile,
+		cfg:          cfg,
+		net:          net,
+		dir:          make(map[cache.LineAddr]*dirLine),
+		dram:         dram.New(cfg, progress),
+		everAccessed: make(map[cache.LineAddr]struct{}),
+		invalidated:  make(map[cache.LineAddr]struct{}),
+		wbDrained:    make(chan struct{}, 1),
+		lineSize:     cfg.LineSize(),
+		stopped:      make(chan struct{}),
+	}
+	n.st.TileID = tile
+	if cfg.L1I.Enabled {
+		n.l1i = cache.New(cfg.L1I)
+	}
+	if cfg.L1D.Enabled {
+		n.l1d = cache.New(cfg.L1D)
+	}
+	n.l2 = cache.New(cfg.L2)
+	n.lineBits = n.l2.LineBits()
+	return n
+}
+
+// Tile returns the tile this node belongs to.
+func (n *Node) Tile() arch.TileID { return n.tile }
+
+// LineSize returns the coherence line size.
+func (n *Node) LineSize() int { return n.lineSize }
+
+func (n *Node) lineOf(a arch.Addr) cache.LineAddr {
+	return cache.LineAddr(uint64(a) >> n.lineBits)
+}
+
+func (n *Node) homeOf(l cache.LineAddr) arch.TileID {
+	return arch.TileID(uint64(l) % uint64(n.cfg.Tiles))
+}
+
+// Stats snapshots the tile's statistics. Safe to call after Serve stops;
+// during simulation it takes the hierarchy mutex.
+func (n *Node) Stats() stats.Tile {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.st
+	if n.l1i != nil {
+		st.L1IHits, st.L1IMisses = n.l1i.Hits, n.l1i.Misses
+	}
+	if n.l1d != nil {
+		st.L1DHits, st.L1DMisses = n.l1d.Hits, n.l1d.Misses
+	}
+	st.L2Hits, st.L2Misses = n.l2.Hits, n.l2.Misses
+	st.L2Evictions = n.l2.Evictions
+	st.L2Writebacks = n.l2.Writebacks
+	st.DRAMReads, st.DRAMWrites = n.dram.Reads, n.dram.Writes
+	st.DRAMQueueWait = n.dram.TotalQueueDelay
+	ns := n.net.Stats()
+	for c := network.Class(0); c < network.NumClasses; c++ {
+		st.NetPacketsSent += ns.PacketsSent[c].Load()
+		st.NetBytesSent += ns.BytesSent[c].Load()
+		st.NetPacketsRecv += ns.PacketsRecv[c].Load()
+	}
+	return st
+}
+
+// send transmits a memory-class packet. Sends racing simulation teardown
+// (transport already closed) are dropped silently — the receiver is gone;
+// any other transport failure is unrecoverable simulator state.
+func (n *Node) send(typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) arch.Cycles {
+	arrival, err := n.net.Send(network.ClassMemory, typ, dst, seq, payload, now)
+	if err != nil {
+		if errors.Is(err, transport.ErrClosed) {
+			return now
+		}
+		panic("memsys: transport send failed: " + err.Error())
+	}
+	return arrival
+}

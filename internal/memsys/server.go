@@ -1,0 +1,565 @@
+package memsys
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/directory"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// Serve is the tile's memory server loop. It processes every memory-class
+// packet addressed to this tile — directory requests for lines homed here,
+// coherence commands for lines cached here, and replies that complete the
+// local core's outstanding miss. It returns when the network closes.
+//
+// The server never blocks on other tiles: home transactions are a state
+// machine (blocking directory with per-line pending queues), so the
+// distributed protocol cannot deadlock even while this tile's own core is
+// blocked on a miss.
+func (n *Node) Serve() {
+	defer close(n.stopped)
+	for {
+		pkt, ok := n.net.Recv(network.ClassMemory)
+		if !ok {
+			return
+		}
+		n.dispatch(pkt)
+	}
+}
+
+// Stopped reports server termination (for tests and teardown).
+func (n *Node) Stopped() <-chan struct{} { return n.stopped }
+
+func (n *Node) dispatch(pkt network.Packet) {
+	// One per-tile mutex guards the caches, the directory shard, stats,
+	// and the pending request slot. Nothing under it blocks: transport
+	// sends are unbounded.
+	n.mu.Lock()
+	var done chan replyInfo
+	var info replyInfo
+	switch pkt.Type {
+	case msgShReq, msgExReq:
+		n.handleRequest(pkt)
+	case msgEvictS:
+		n.handleEvictS(pkt)
+	case msgEvictM:
+		n.handleEvictM(pkt)
+	case msgInvReq, msgWbReq, msgFlushReq:
+		n.handleControllerOp(pkt)
+	case msgInvRep, msgWbRep, msgFlushRep:
+		n.handleHomeReply(pkt)
+	case msgShRep, msgExRep, msgUpgRep, msgPeekRep, msgPokeAck:
+		done, info = n.completeCore(pkt)
+	case msgEvictAck:
+		n.wbAcked()
+	case msgPeek, msgPoke:
+		n.handlePeekPoke(pkt)
+	}
+	n.mu.Unlock()
+	if done != nil {
+		done <- info
+	}
+}
+
+func (n *Node) dirLineOf(l cache.LineAddr) *dirLine {
+	dl := n.dir[l]
+	if dl == nil {
+		dl = &dirLine{entry: directory.NewEntry(n.cfg.Coherence, n.cfg.Tiles)}
+		n.dir[l] = dl
+	}
+	return dl
+}
+
+// handleRequest is the home's entry point for ShReq/ExReq.
+func (n *Node) handleRequest(pkt network.Packet) {
+	req, err := decodeReq(pkt.Payload)
+	if err != nil {
+		panic("memsys: " + err.Error())
+	}
+	n.st.DirRequests++
+	dl := n.dirLineOf(cache.LineAddr(req.line))
+	if dl.busy != nil {
+		dl.pending = append(dl.pending, pkt)
+		return
+	}
+	n.startTxn(dl, pkt, req)
+}
+
+func (n *Node) startTxn(dl *dirLine, pkt network.Packet, req reqPayload) {
+	e := dl.entry
+	t := pkt.Time + n.cfg.Coherence.DirLatency
+	n.homeSeq++
+	tx := &txn{
+		homeSeq:   n.homeSeq,
+		reqType:   pkt.Type,
+		requester: pkt.Src,
+		reqSeq:    pkt.Seq,
+		reqMask:   req.mask,
+		upgrade:   req.flags&flagUpgrade != 0,
+		ifetch:    req.flags&flagIFetch != 0,
+		line:      cache.LineAddr(req.line),
+		latest:    t,
+	}
+
+	if pkt.Type == msgShReq {
+		if e.Owner != arch.InvalidTile && e.Owner != pkt.Src {
+			// Downgrade the Modified owner and collect its data.
+			tx.waitData = true
+			tx.dataFrom = e.Owner
+			n.send(msgWbReq, e.Owner, tx.homeSeq, encodeLine(req.line), t)
+			dl.busy = tx
+			return
+		}
+		// completeTxn adds the requester to the sharer set, handling any
+		// Dir_iNB pointer reclaim (which requires another invalidation
+		// round before the grant).
+		n.completeTxn(dl, tx, t)
+		return
+	}
+
+	// ExReq.
+	if e.Owner != arch.InvalidTile && e.Owner != pkt.Src {
+		tx.waitData = true
+		tx.dataFrom = e.Owner
+		n.send(msgFlushReq, e.Owner, tx.homeSeq, encodeLine(req.line), t)
+		dl.busy = tx
+		return
+	}
+	// The upgrade is only valid if the requester still holds its S copy.
+	tx.upgrade = tx.upgrade && e.Sharers.Contains(pkt.Src)
+	if e.Sharers.InvTrap() {
+		tx.trapExtra += n.cfg.Coherence.TrapLatency
+		n.st.DirTraps++
+	}
+	e.Sharers.ForEach(func(s arch.TileID) {
+		if s == pkt.Src {
+			return
+		}
+		tx.waitAcks++
+		n.st.InvSent++
+		n.send(msgInvReq, s, tx.homeSeq, encodeLine(req.line), t)
+	})
+	e.Sharers.Clear()
+	if tx.waitAcks > 0 {
+		dl.busy = tx
+		return
+	}
+	n.completeTxn(dl, tx, t)
+}
+
+// completeTxn grants the request and replies to the requester.
+func (n *Node) completeTxn(dl *dirLine, tx *txn, now arch.Cycles) {
+	e := dl.entry
+	t := now
+	if tx.latest > t {
+		t = tx.latest
+	}
+	t += tx.trapExtra
+	payload := dataPayload{
+		line:   uint64(tx.line),
+		mask:   e.LastWriterMask,
+		writer: e.LastWriter,
+	}
+
+	if tx.reqType == msgShReq {
+		// Track the requester as a sharer. A limited directory (Dir_iNB)
+		// may reclaim a pointer: the displaced sharer must be invalidated
+		// before the grant, or it would retain a copy the directory no
+		// longer knows about — unreachable by later invalidations.
+		evict, trap := e.Sharers.Add(tx.requester)
+		if trap {
+			tx.trapExtra += n.cfg.Coherence.TrapLatency
+			n.st.DirTraps++
+		}
+		if evict != arch.InvalidTile && evict != tx.requester {
+			tx.waitAcks++
+			n.st.InvSent++
+			n.send(msgInvReq, evict, tx.homeSeq, encodeLine(uint64(tx.line)), t)
+			tx.latest = t
+			dl.busy = tx // re-enters completeTxn when the ack arrives
+			return
+		}
+		buf := make([]byte, n.lineSize)
+		if tx.haveData {
+			// Data flushed by the former owner; it is also written back
+			// so every Shared copy is clean (MSI). The writeback occupies
+			// the DRAM queue but is off the critical path.
+			copy(buf, tx.data)
+			n.dram.WriteLine(uint64(tx.line), tx.data, t)
+		} else {
+			t += n.dram.ReadLine(uint64(tx.line), buf, t)
+		}
+		payload.flags |= flagHasData
+		payload.data = buf
+		n.send(msgShRep, tx.requester, tx.reqSeq, encodeData(payload), t)
+	} else {
+		e.LastWriter = tx.requester
+		e.LastWriterMask = tx.reqMask
+		if tx.upgrade && !tx.haveData {
+			e.Owner = tx.requester
+			n.send(msgUpgRep, tx.requester, tx.reqSeq, encodeData(payload), t)
+		} else {
+			buf := make([]byte, n.lineSize)
+			if tx.haveData {
+				// Dirty data moves owner to owner without touching DRAM.
+				copy(buf, tx.data)
+			} else {
+				t += n.dram.ReadLine(uint64(tx.line), buf, t)
+			}
+			e.Owner = tx.requester
+			payload.flags |= flagHasData
+			payload.data = buf
+			n.send(msgExRep, tx.requester, tx.reqSeq, encodeData(payload), t)
+		}
+	}
+	dl.busy = nil
+	n.popPending(dl)
+}
+
+// popPending starts the next queued request for the line, if any.
+func (n *Node) popPending(dl *dirLine) {
+	for dl.busy == nil && len(dl.pending) > 0 {
+		pkt := dl.pending[0]
+		dl.pending = dl.pending[1:]
+		req, err := decodeReq(pkt.Payload)
+		if err != nil {
+			panic("memsys: " + err.Error())
+		}
+		n.startTxn(dl, pkt, req)
+	}
+}
+
+// handleHomeReply processes InvRep/WbRep/FlushRep for an in-flight
+// transaction. Stale replies (transaction already satisfied by a crossing
+// EvictM) are dropped by sequence-number mismatch.
+func (n *Node) handleHomeReply(pkt network.Packet) {
+	p, err := decodeData(pkt.Payload)
+	if err != nil {
+		panic("memsys: " + err.Error())
+	}
+	dl := n.dir[cache.LineAddr(p.line)]
+	if dl == nil || dl.busy == nil || dl.busy.homeSeq != pkt.Seq {
+		return // stale reply from a completed transaction
+	}
+	tx := dl.busy
+	if pkt.Time > tx.latest {
+		tx.latest = pkt.Time
+	}
+	e := dl.entry
+	switch pkt.Type {
+	case msgInvRep:
+		tx.waitAcks--
+		if p.flags&flagHasData != 0 {
+			// Defensive: an invalidated copy turned out Modified.
+			n.dram.WriteLine(p.line, p.data, pkt.Time)
+		}
+	case msgWbRep:
+		if p.flags&flagNotPresent != 0 {
+			// Per-sender FIFO guarantees the owner's EvictM reaches us
+			// before a not-present WbRep; this reply cannot match an
+			// open transaction.
+			panic("memsys: WbRep(notPresent) for open transaction")
+		}
+		tx.waitData = false
+		tx.haveData = true
+		tx.data = cloneBytes(p.data)
+		tx.dataMask = p.mask
+		e.Owner = arch.InvalidTile
+		// The former owner retains a Shared copy. An M line has no other
+		// sharers, so the pointer set cannot overflow here; handle an
+		// eviction anyway so a future protocol variant cannot silently
+		// leak an untracked sharer.
+		if evict, _ := e.Sharers.Add(pkt.Src); evict != arch.InvalidTile && evict != pkt.Src {
+			tx.waitAcks++
+			n.st.InvSent++
+			n.send(msgInvReq, evict, tx.homeSeq, encodeLine(p.line), pkt.Time)
+		}
+		e.LastWriter = pkt.Src
+		e.LastWriterMask = p.mask
+	case msgFlushRep:
+		if p.flags&flagNotPresent != 0 {
+			panic("memsys: FlushRep(notPresent) for open transaction")
+		}
+		tx.waitData = false
+		tx.haveData = true
+		tx.data = cloneBytes(p.data)
+		tx.dataMask = p.mask
+		e.Owner = arch.InvalidTile
+		e.LastWriter = pkt.Src
+		e.LastWriterMask = p.mask
+	}
+	if tx.waitAcks == 0 && !tx.waitData {
+		n.completeTxn(dl, tx, tx.latest)
+	}
+}
+
+// handleEvictS removes a sharer after a clean eviction notification.
+func (n *Node) handleEvictS(pkt network.Packet) {
+	line, err := decodeLine(pkt.Payload)
+	if err != nil {
+		panic("memsys: " + err.Error())
+	}
+	if dl := n.dir[cache.LineAddr(line)]; dl != nil {
+		dl.entry.Sharers.Remove(pkt.Src)
+	}
+}
+
+// handleEvictM applies a dirty writeback. If a transaction is waiting for
+// a flush from the evicting owner, the writeback doubles as the flush data
+// (the owner's not-present reply that follows is dropped as stale).
+func (n *Node) handleEvictM(pkt network.Packet) {
+	p, err := decodeData(pkt.Payload)
+	if err != nil {
+		panic("memsys: " + err.Error())
+	}
+	n.send(msgEvictAck, pkt.Src, pkt.Seq, encodeLine(p.line), pkt.Time)
+	dl := n.dirLineOf(cache.LineAddr(p.line))
+	e := dl.entry
+	n.dram.WriteLine(p.line, p.data, pkt.Time)
+	if dl.busy != nil && dl.busy.waitData && dl.busy.dataFrom == pkt.Src {
+		tx := dl.busy
+		tx.waitData = false
+		tx.haveData = true
+		tx.data = cloneBytes(p.data)
+		tx.dataMask = p.mask
+		if pkt.Time > tx.latest {
+			tx.latest = pkt.Time
+		}
+		e.Owner = arch.InvalidTile
+		e.LastWriter = pkt.Src
+		e.LastWriterMask = p.mask
+		if tx.waitAcks == 0 {
+			n.completeTxn(dl, tx, tx.latest)
+		}
+		return
+	}
+	if e.Owner == pkt.Src {
+		e.Owner = arch.InvalidTile
+		e.LastWriter = pkt.Src
+		e.LastWriterMask = p.mask
+	}
+}
+
+// handleControllerOp serves Inv/Wb/Flush commands against the local caches.
+func (n *Node) handleControllerOp(pkt network.Packet) {
+	line, err := decodeLine(pkt.Payload)
+	if err != nil {
+		panic("memsys: " + err.Error())
+	}
+	l := cache.LineAddr(line)
+	t := pkt.Time + n.l2.HitLatency()
+	pay := dataPayload{line: line, writer: n.tile}
+
+	switch pkt.Type {
+	case msgInvReq:
+		if ln, ok := n.l2.Invalidate(l); ok {
+			if ln.State == cache.Modified {
+				// Defensive: should have been a FlushReq.
+				pay.flags |= flagHasData
+				pay.mask = ln.WriteMask
+				pay.data = ln.Data
+			}
+			n.invL1(l)
+			n.markInvalidated(l)
+		} else {
+			pay.flags |= flagNotPresent
+		}
+		n.send(msgInvRep, pkt.Src, pkt.Seq, encodeData(pay), t)
+	case msgWbReq:
+		if ln := n.l2.Peek(l); ln != nil {
+			pay.flags |= flagHasData
+			pay.mask = ln.WriteMask
+			pay.data = cloneBytes(ln.Data)
+			n.l2.Downgrade(l)
+		} else {
+			pay.flags |= flagNotPresent
+		}
+		n.send(msgWbRep, pkt.Src, pkt.Seq, encodeData(pay), t)
+	case msgFlushReq:
+		if ln, ok := n.l2.Invalidate(l); ok {
+			pay.flags |= flagHasData
+			pay.mask = ln.WriteMask
+			pay.data = ln.Data
+			n.invL1(l)
+			n.markInvalidated(l)
+		} else {
+			pay.flags |= flagNotPresent
+		}
+		n.send(msgFlushRep, pkt.Src, pkt.Seq, encodeData(pay), t)
+	}
+}
+
+// completeCore finishes the tile's outstanding miss: it installs the line,
+// applies the pending operation, classifies the miss, and returns the
+// waiting core's channel (signaled by the caller after unlocking).
+func (n *Node) completeCore(pkt network.Packet) (chan replyInfo, replyInfo) {
+	pr := n.pending
+	if pr == nil || pr.seq != pkt.Seq {
+		return nil, replyInfo{}
+	}
+	n.pending = nil
+	info := replyInfo{arrival: pkt.Time}
+
+	switch pkt.Type {
+	case msgPokeAck:
+		return pr.done, info
+	case msgPeekRep:
+		p, err := decodePeek(pkt.Payload)
+		if err != nil {
+			panic("memsys: " + err.Error())
+		}
+		info.data = cloneBytes(p.data)
+		return pr.done, info
+	}
+
+	p, err := decodeData(pkt.Payload)
+	if err != nil {
+		panic("memsys: " + err.Error())
+	}
+
+	switch pkt.Type {
+	case msgUpgRep:
+		ln := n.l2.Peek(pr.line)
+		if ln == nil {
+			// Home serializes per line: nothing can invalidate our copy
+			// between the upgrade grant and its arrival.
+			panic("memsys: upgrade grant for absent line")
+		}
+		ln.State = cache.Modified
+		n.applyWrite(ln, pr)
+		info.upgraded = true
+		n.st.Upgrades++
+	case msgShRep, msgExRep:
+		st := cache.Shared
+		if pkt.Type == msgExRep {
+			st = cache.Modified
+		}
+		if victim, evicted := n.l2.Insert(pr.line, st, p.data); evicted {
+			n.processVictim(victim, pkt.Time)
+		}
+		ln := n.l2.Peek(pr.line)
+		if pr.isWrite {
+			n.applyWrite(ln, pr)
+		} else {
+			copy(pr.rbuf, ln.Data[pr.off:pr.off+len(pr.rbuf)])
+			n.fillL1(pr, ln.Data)
+		}
+		if pr.ifetch {
+			n.st.IFetchMisses++
+		} else {
+			info.kind = n.classify(pr, p)
+			n.st.MissBy[info.kind]++
+			lat := pkt.Time - pr.sentAt
+			if lat < 0 {
+				lat = 0
+			}
+			n.st.MemLatencyTotal += lat
+			n.st.MemAccesses++
+		}
+		delete(n.invalidated, pr.line)
+		n.everAccessed[pr.line] = struct{}{}
+	}
+	return pr.done, info
+}
+
+// applyWrite stores the pending write into a Modified L2 line and keeps
+// the write-through L1D copy coherent.
+func (n *Node) applyWrite(ln *cache.Line, pr *pendingReq) {
+	copy(ln.Data[pr.off:], pr.wbuf)
+	ln.Dirty = true
+	ln.WriteMask |= pr.mask
+	if n.l1d != nil {
+		if l1 := n.l1d.Peek(pr.line); l1 != nil {
+			copy(l1.Data[pr.off:], pr.wbuf)
+		}
+	}
+}
+
+// fillL1 installs a freshly read line into the appropriate L1.
+func (n *Node) fillL1(pr *pendingReq, data []byte) {
+	if pr.ifetch {
+		if n.l1i != nil {
+			n.l1i.Insert(pr.line, cache.Shared, data)
+		}
+		return
+	}
+	if n.l1d != nil {
+		n.l1d.Insert(pr.line, cache.Shared, data)
+	}
+}
+
+// classify determines the miss kind (paper §4.4 / Figure 8).
+func (n *Node) classify(pr *pendingReq, p dataPayload) stats.MissKind {
+	if _, seen := n.everAccessed[pr.line]; !seen {
+		return stats.MissCold
+	}
+	if _, inv := n.invalidated[pr.line]; inv {
+		if p.writer != n.tile && p.writer != arch.InvalidTile && p.mask&pr.mask != 0 {
+			return stats.MissTrueSharing
+		}
+		return stats.MissFalseSharing
+	}
+	return stats.MissCapacity
+}
+
+// processVictim handles an L2 eviction: L1 inclusion and the home
+// notification (writeback for Modified victims).
+func (n *Node) processVictim(victim cache.Line, now arch.Cycles) {
+	n.invL1(victim.Addr)
+	home := n.homeOf(victim.Addr)
+	if victim.State == cache.Modified {
+		n.outstandingWB.Add(1)
+		pay := dataPayload{line: uint64(victim.Addr), mask: victim.WriteMask, writer: n.tile, flags: flagHasData, data: victim.Data}
+		n.send(msgEvictM, home, 0, encodeData(pay), now)
+	} else {
+		n.send(msgEvictS, home, 0, encodeLine(uint64(victim.Addr)), now)
+	}
+}
+
+func (n *Node) invL1(l cache.LineAddr) {
+	if n.l1i != nil {
+		n.l1i.Invalidate(l)
+	}
+	if n.l1d != nil {
+		n.l1d.Invalidate(l)
+	}
+}
+
+func (n *Node) markInvalidated(l cache.LineAddr) {
+	n.invalidated[l] = struct{}{}
+}
+
+// handlePeekPoke serves functional memory access against the home backing
+// store. Valid only pre-run or post-flush (no dirty cached copies).
+func (n *Node) handlePeekPoke(pkt network.Packet) {
+	p, err := decodePeek(pkt.Payload)
+	if err != nil {
+		panic("memsys: " + err.Error())
+	}
+	line := uint64(p.addr) >> n.lineBits
+	off := int(uint64(p.addr) & (uint64(n.lineSize) - 1))
+	if pkt.Type == msgPoke {
+		n.dram.Poke(line, off, p.data)
+		n.send(msgPokeAck, pkt.Src, pkt.Seq, nil, pkt.Time)
+		return
+	}
+	buf := make([]byte, p.n)
+	n.dram.Peek(line, off, buf)
+	n.send(msgPeekRep, pkt.Src, pkt.Seq, encodePeek(peekPayload{addr: p.addr, n: p.n, data: buf}), pkt.Time)
+}
+
+func (n *Node) wbAcked() {
+	if n.outstandingWB.Add(-1) == 0 {
+		select {
+		case n.wbDrained <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,214 @@
+package network
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/transport"
+)
+
+// Models bundles the per-class network models of one simulated process.
+// All tiles of the process share the same model instances, so contention
+// state aggregates across them.
+type Models struct {
+	ms [NumClasses]Model
+}
+
+// NewModels builds the three class models from the configuration.
+func NewModels(cfg *config.Config, progress *clock.ProgressWindow) *Models {
+	var m Models
+	m.ms[ClassSystem] = NewModel(cfg.SysNet, cfg.Tiles, progress)
+	m.ms[ClassMemory] = NewModel(cfg.MemNet, cfg.Tiles, progress)
+	m.ms[ClassApp] = NewModel(cfg.AppNet, cfg.Tiles, progress)
+	return &m
+}
+
+// Model returns the model serving a class.
+func (m *Models) Model(c Class) Model { return m.ms[c] }
+
+// Delay computes the modeled latency for one packet. Traffic to or from
+// control endpoints (negative IDs) is control-plane only and has no
+// modeled delay regardless of class.
+func (m *Models) Delay(c Class, src, dst arch.TileID, bytes int, depart arch.Cycles) arch.Cycles {
+	if src < 0 || dst < 0 {
+		return 0
+	}
+	return m.ms[c].Delay(src, dst, bytes, depart)
+}
+
+// Stats counts traffic per class for one Net.
+type Stats struct {
+	PacketsSent [NumClasses]atomic.Uint64
+	BytesSent   [NumClasses]atomic.Uint64
+	PacketsRecv [NumClasses]atomic.Uint64
+	TotalDelay  [NumClasses]atomic.Int64 // summed modeled latency of sent packets
+}
+
+// pktQueue is an unbounded FIFO of packets.
+type pktQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Packet
+	closed bool
+}
+
+func newPktQueue() *pktQueue {
+	q := &pktQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *pktQueue) put(p Packet) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.queue = append(q.queue, p)
+	q.cond.Signal()
+}
+
+func (q *pktQueue) get() (Packet, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.queue) == 0 {
+		return Packet{}, false
+	}
+	p := q.queue[0]
+	q.queue[0] = Packet{}
+	q.queue = q.queue[1:]
+	return p, true
+}
+
+// getMatch returns the first packet satisfying pred, buffering others in
+// arrival order. It blocks until a match arrives or the queue closes.
+func (q *pktQueue) getMatch(pred func(*Packet) bool) (Packet, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	scanned := 0
+	for {
+		for i := scanned; i < len(q.queue); i++ {
+			if pred(&q.queue[i]) {
+				p := q.queue[i]
+				q.queue = append(q.queue[:i], q.queue[i+1:]...)
+				return p, true
+			}
+		}
+		scanned = len(q.queue)
+		if q.closed {
+			return Packet{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *pktQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Net is one node's interface to the on-chip networks: a target tile or a
+// simulator control thread (MCP/LCP, which only ever uses ClassSystem).
+// A demultiplexing goroutine moves transport frames into per-class receive
+// queues; Start must be called once before any Recv.
+type Net struct {
+	node     arch.TileID // may be negative for control endpoints
+	tr       transport.Transport
+	ep       transport.Endpoint
+	models   *Models
+	progress *clock.ProgressWindow
+	queues   [NumClasses]*pktQueue
+	stats    Stats
+	wg       sync.WaitGroup
+}
+
+// New creates the network interface for a node. The endpoint must already
+// be registered on the transport. progress may be nil for control nodes.
+func New(node arch.TileID, tr transport.Transport, ep transport.Endpoint, models *Models, progress *clock.ProgressWindow) *Net {
+	n := &Net{node: node, tr: tr, ep: ep, models: models, progress: progress}
+	for c := range n.queues {
+		n.queues[c] = newPktQueue()
+	}
+	return n
+}
+
+// Node returns the node ID this Net serves.
+func (n *Net) Node() arch.TileID { return n.node }
+
+// Start launches the demultiplexer.
+func (n *Net) Start() {
+	n.wg.Add(1)
+	go n.demux()
+}
+
+func (n *Net) demux() {
+	defer n.wg.Done()
+	for {
+		frame, err := n.ep.Recv()
+		if err != nil {
+			for _, q := range n.queues {
+				q.close()
+			}
+			return
+		}
+		pkt, err := Decode(frame)
+		if err != nil {
+			// A malformed frame indicates a simulator bug; dropping it
+			// is the only safe action mid-simulation.
+			continue
+		}
+		if n.progress != nil && pkt.Time >= 0 {
+			n.progress.Observe(pkt.Time)
+		}
+		n.stats.PacketsRecv[pkt.Class].Add(1)
+		n.queues[pkt.Class].put(pkt)
+	}
+}
+
+// Send models and transmits a packet, returning its simulated arrival time
+// at dst. now is the sender's current clock.
+func (n *Net) Send(class Class, typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) (arch.Cycles, error) {
+	p := Packet{Class: class, Type: typ, Src: n.node, Dst: dst, Seq: seq, Payload: payload}
+	delay := n.models.Delay(class, n.node, dst, p.Bytes(), now)
+	p.Time = now + delay
+	n.stats.PacketsSent[class].Add(1)
+	n.stats.BytesSent[class].Add(uint64(p.Bytes()))
+	n.stats.TotalDelay[class].Add(int64(delay))
+	if err := n.tr.Send(transport.EndpointID(dst), p.Encode()); err != nil {
+		return 0, err
+	}
+	return p.Time, nil
+}
+
+// Recv blocks for the next packet of a class, in arrival order.
+// ok is false after Close.
+func (n *Net) Recv(class Class) (Packet, bool) {
+	return n.queues[class].get()
+}
+
+// RecvMatch blocks for the next packet of a class satisfying pred,
+// buffering non-matching packets for later Recv/RecvMatch calls.
+func (n *Net) RecvMatch(class Class, pred func(*Packet) bool) (Packet, bool) {
+	return n.queues[class].getMatch(pred)
+}
+
+// Stats exposes the traffic counters.
+func (n *Net) Stats() *Stats { return &n.stats }
+
+// Close shuts down the receive queues and the endpoint. In-flight Recv
+// calls return ok == false.
+func (n *Net) Close() {
+	n.ep.Close()
+	for _, q := range n.queues {
+		q.close()
+	}
+	n.wg.Wait()
+}

@@ -1,0 +1,418 @@
+package network
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/transport"
+)
+
+func TestPacketRoundtrip(t *testing.T) {
+	in := Packet{
+		Class:   ClassMemory,
+		Type:    7,
+		Src:     3,
+		Dst:     12,
+		Time:    123456789,
+		Seq:     42,
+		Payload: []byte("line data"),
+	}
+	out, err := Decode(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != in.Class || out.Type != in.Type || out.Src != in.Src ||
+		out.Dst != in.Dst || out.Time != in.Time || out.Seq != in.Seq ||
+		!bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestPacketRoundtripControlEndpoints(t *testing.T) {
+	in := Packet{Class: ClassSystem, Src: arch.TileID(transport.MCP), Dst: arch.TileID(transport.LCP(2))}
+	out, err := Decode(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Src != -1 || out.Dst != -4 {
+		t.Fatalf("negative IDs mangled: src=%d dst=%d", out.Src, out.Dst)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("decoded nil frame")
+	}
+	if _, err := Decode(make([]byte, headerLen-1)); err == nil {
+		t.Fatal("decoded short frame")
+	}
+	p := Packet{Class: ClassApp, Payload: []byte("xyz")}
+	enc := p.Encode()
+	enc[0] = 200 // bogus class
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("decoded bogus class")
+	}
+	enc2 := p.Encode()
+	enc2 = enc2[:len(enc2)-1] // truncated payload
+	if _, err := Decode(enc2); err == nil {
+		t.Fatal("decoded truncated payload")
+	}
+}
+
+func TestPacketEncodeQuick(t *testing.T) {
+	f := func(typ uint8, src, dst int16, tm uint32, seq uint64, payload []byte) bool {
+		in := Packet{Class: ClassApp, Type: typ, Src: arch.TileID(src), Dst: arch.TileID(dst),
+			Time: arch.Cycles(tm), Seq: seq, Payload: payload}
+		out, err := Decode(in.Encode())
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.Src == in.Src && out.Dst == in.Dst &&
+			out.Time == in.Time && out.Seq == in.Seq && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMagicModelZeroDelay(t *testing.T) {
+	m := Magic{}
+	if d := m.Delay(0, 31, 4096, 1000); d != 0 {
+		t.Fatalf("magic delay = %d", d)
+	}
+}
+
+func meshCfg(kind config.NetworkModelKind) config.NetworkConfig {
+	return config.NetworkConfig{Kind: kind, HopLatency: 2, LinkBandwidth: 32}
+}
+
+func TestMeshGeometry(t *testing.T) {
+	m := newMesh(meshCfg(config.NetMeshHop), 16, nil)
+	if w, h := m.Geometry(); w != 4 || h != 4 {
+		t.Fatalf("16 tiles -> %dx%d, want 4x4", w, h)
+	}
+	m = newMesh(meshCfg(config.NetMeshHop), 17, nil)
+	if w, h := m.Geometry(); w != 5 || h != 4 {
+		t.Fatalf("17 tiles -> %dx%d, want 5x4", w, h)
+	}
+	m = newMesh(meshCfg(config.NetMeshHop), 1, nil)
+	if w, h := m.Geometry(); w != 1 || h != 1 {
+		t.Fatalf("1 tile -> %dx%d", w, h)
+	}
+}
+
+func TestMeshHopCount(t *testing.T) {
+	m := newMesh(meshCfg(config.NetMeshHop), 16, nil) // 4x4
+	cases := []struct {
+		src, dst arch.TileID
+		hops     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1},  // one row down
+		{0, 15, 6}, // 3 east + 3 south
+		{5, 10, 2},
+		{15, 0, 6},
+	}
+	for _, c := range cases {
+		if got := m.HopCount(c.src, c.dst); got != c.hops {
+			t.Errorf("hops(%v,%v) = %d, want %d", c.src, c.dst, got, c.hops)
+		}
+	}
+}
+
+func TestMeshHopDelayFormula(t *testing.T) {
+	m := newMesh(meshCfg(config.NetMeshHop), 16, nil)
+	// 0 -> 15: 6 hops * 2 cycles + ceil(64/32)=2 serialization = 14.
+	if d := m.Delay(0, 15, 64, 0); d != 14 {
+		t.Fatalf("delay = %d, want 14", d)
+	}
+	// Loopback: serialization only.
+	if d := m.Delay(7, 7, 64, 0); d != 2 {
+		t.Fatalf("loopback delay = %d, want 2", d)
+	}
+	// Delay must not depend on departure time without contention.
+	if m.Delay(0, 15, 64, 0) != m.Delay(0, 15, 64, 1_000_000) {
+		t.Fatal("hop model depends on time")
+	}
+}
+
+func TestMeshDelaySymmetricAndMonotonicInDistance(t *testing.T) {
+	m := newMesh(meshCfg(config.NetMeshHop), 64, nil)
+	f := func(a, b uint8) bool {
+		src := arch.TileID(a % 64)
+		dst := arch.TileID(b % 64)
+		return m.Delay(src, dst, 32, 0) == m.Delay(dst, src, 32, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Delay(0, 1, 32, 0) >= m.Delay(0, 63, 32, 0) {
+		t.Fatal("longer route not slower")
+	}
+}
+
+func TestMeshContentionAddsQueueing(t *testing.T) {
+	prog := clock.NewProgressWindow(8)
+	m := newMesh(meshCfg(config.NetMeshContention), 16, prog)
+	base := m.Delay(0, 3, 64, 1000)
+	// Hammer the same route at the same timestamp: later packets must
+	// queue behind earlier ones on the shared links.
+	var last arch.Cycles
+	for i := 0; i < 50; i++ {
+		last = m.Delay(0, 3, 64, 1000)
+	}
+	if last <= base {
+		t.Fatalf("contention did not grow: first %d, after load %d", base, last)
+	}
+	pkts, delay := m.ContentionStats()
+	if pkts == 0 || delay == 0 {
+		t.Fatalf("contention stats empty: %d pkts %d delay", pkts, delay)
+	}
+}
+
+func TestMeshContentionIndependentLinks(t *testing.T) {
+	prog := clock.NewProgressWindow(8)
+	m := newMesh(meshCfg(config.NetMeshContention), 16, prog)
+	for i := 0; i < 50; i++ {
+		m.Delay(0, 3, 64, 1000) // load the top row eastward
+	}
+	// A disjoint route (12 -> 15 along the bottom row) sees no contention
+	// from the top-row load beyond global progress effects.
+	d := m.Delay(12, 15, 64, 1000)
+	hop := m.Delay(12, 15, 64, 1_000_000_000) // long after queues drain
+	if d > hop+arch.Cycles(10) {
+		t.Fatalf("disjoint route contended: %d vs base %d", d, hop)
+	}
+}
+
+func TestRingHopCount(t *testing.T) {
+	r := &Ring{cfg: meshCfg(config.NetRing), tiles: 8}
+	cases := []struct {
+		src, dst arch.TileID
+		hops     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 4}, // antipodal
+		{0, 5, 3}, // shorter the other way
+		{0, 7, 1},
+		{7, 0, 1},
+		{2, 6, 4},
+	}
+	for _, c := range cases {
+		if got := r.HopCount(c.src, c.dst); got != c.hops {
+			t.Errorf("ring hops(%v,%v) = %d, want %d", c.src, c.dst, got, c.hops)
+		}
+	}
+}
+
+func TestRingDelaySymmetric(t *testing.T) {
+	r := &Ring{cfg: meshCfg(config.NetRing), tiles: 16}
+	f := func(a, b uint8) bool {
+		src := arch.TileID(a % 16)
+		dst := arch.TileID(b % 16)
+		return r.Delay(src, dst, 64, 0) == r.Delay(dst, src, 64, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Ring distance never exceeds tiles/2.
+	for src := arch.TileID(0); src < 16; src++ {
+		for dst := arch.TileID(0); dst < 16; dst++ {
+			if h := r.HopCount(src, dst); h > 8 {
+				t.Fatalf("ring hops(%v,%v) = %d > 8", src, dst, h)
+			}
+		}
+	}
+}
+
+func TestRingSingleTile(t *testing.T) {
+	r := &Ring{cfg: meshCfg(config.NetRing), tiles: 1}
+	if d := r.Delay(0, 0, 64, 0); d != 2 { // serialization only
+		t.Fatalf("single-tile ring delay %d", d)
+	}
+}
+
+func TestNewModelSelectsKinds(t *testing.T) {
+	prog := clock.NewProgressWindow(4)
+	for kind, name := range map[config.NetworkModelKind]string{
+		config.NetMagic:          "magic",
+		config.NetMeshHop:        "mesh_hop",
+		config.NetMeshContention: "mesh_contention",
+		config.NetRing:           "ring",
+	} {
+		m := NewModel(config.NetworkConfig{Kind: kind, HopLatency: 1, LinkBandwidth: 8}, 16, prog)
+		if m.Name() != name {
+			t.Errorf("kind %v built model %q", kind, m.Name())
+		}
+	}
+}
+
+func newTestNode(t *testing.T, tiles int) (*Net, *Net, func()) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Tiles = tiles
+	prog := clock.NewProgressWindow(tiles)
+	models := NewModels(&cfg, prog)
+	fab := transport.NewChannelFabric(transport.StripedRoute(1))
+	tr := fab.Process(0)
+	ep0, err := tr.Register(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := tr.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := New(0, tr, ep0, models, prog)
+	n1 := New(1, tr, ep1, models, prog)
+	n0.Start()
+	n1.Start()
+	return n0, n1, func() { n0.Close(); n1.Close(); fab.Close() }
+}
+
+func TestNetSendRecv(t *testing.T) {
+	n0, n1, done := newTestNode(t, 4)
+	defer done()
+	arrival, err := n0.Send(ClassApp, 9, 1, 77, []byte("ping"), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrival <= 500 {
+		t.Fatalf("arrival %d not after send time", arrival)
+	}
+	pkt, ok := n1.Recv(ClassApp)
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	if pkt.Src != 0 || pkt.Dst != 1 || pkt.Type != 9 || pkt.Seq != 77 ||
+		string(pkt.Payload) != "ping" || pkt.Time != arrival {
+		t.Fatalf("bad packet: %+v (want arrival %d)", pkt, arrival)
+	}
+}
+
+func TestNetClassIsolation(t *testing.T) {
+	n0, n1, done := newTestNode(t, 4)
+	defer done()
+	n0.Send(ClassMemory, 1, 1, 0, []byte("mem"), 0)
+	n0.Send(ClassApp, 2, 1, 0, []byte("app"), 0)
+	pkt, ok := n1.Recv(ClassApp)
+	if !ok || string(pkt.Payload) != "app" {
+		t.Fatalf("app queue returned %q", pkt.Payload)
+	}
+	pkt, ok = n1.Recv(ClassMemory)
+	if !ok || string(pkt.Payload) != "mem" {
+		t.Fatalf("memory queue returned %q", pkt.Payload)
+	}
+}
+
+func TestNetRecvMatchBuffersOthers(t *testing.T) {
+	n0, n1, done := newTestNode(t, 4)
+	defer done()
+	n0.Send(ClassApp, 0, 1, 1, []byte("a"), 0)
+	n0.Send(ClassApp, 0, 1, 2, []byte("b"), 0)
+	n0.Send(ClassApp, 0, 1, 3, []byte("c"), 0)
+	pkt, ok := n1.RecvMatch(ClassApp, func(p *Packet) bool { return p.Seq == 2 })
+	if !ok || string(pkt.Payload) != "b" {
+		t.Fatalf("RecvMatch returned %q", pkt.Payload)
+	}
+	// The skipped packets are still there, in order.
+	pkt, _ = n1.Recv(ClassApp)
+	if string(pkt.Payload) != "a" {
+		t.Fatalf("buffered packet lost: got %q", pkt.Payload)
+	}
+	pkt, _ = n1.Recv(ClassApp)
+	if string(pkt.Payload) != "c" {
+		t.Fatalf("buffered packet lost: got %q", pkt.Payload)
+	}
+}
+
+func TestNetSystemTrafficHasZeroDelay(t *testing.T) {
+	n0, n1, done := newTestNode(t, 4)
+	defer done()
+	arrival, err := n0.Send(ClassSystem, 0, 1, 0, nil, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrival != 12345 {
+		t.Fatalf("system packet delayed: arrival %d", arrival)
+	}
+	if _, ok := n1.Recv(ClassSystem); !ok {
+		t.Fatal("system packet lost")
+	}
+}
+
+func TestNetFeedsProgressWindow(t *testing.T) {
+	cfg := config.Default()
+	cfg.Tiles = 2
+	prog := clock.NewProgressWindow(1)
+	models := NewModels(&cfg, prog)
+	fab := transport.NewChannelFabric(transport.StripedRoute(1))
+	tr := fab.Process(0)
+	ep0, _ := tr.Register(0)
+	ep1, _ := tr.Register(1)
+	n0 := New(0, tr, ep0, models, prog)
+	n1 := New(1, tr, ep1, models, prog)
+	n0.Start()
+	n1.Start()
+	defer func() { n0.Close(); n1.Close(); fab.Close() }()
+
+	n0.Send(ClassApp, 0, 1, 0, nil, 10_000)
+	if _, ok := n1.Recv(ClassApp); !ok {
+		t.Fatal("recv failed")
+	}
+	if got := prog.Now(); got < 10_000 {
+		t.Fatalf("progress window not fed by delivery: %d", got)
+	}
+}
+
+func TestNetConcurrentSenders(t *testing.T) {
+	n0, n1, done := newTestNode(t, 4)
+	defer done()
+	const senders, per = 4, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := n0.Send(ClassApp, 0, 1, 0, []byte{1}, arch.Cycles(i)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < senders*per; i++ {
+		if _, ok := n1.Recv(ClassApp); !ok {
+			t.Fatal("premature close")
+		}
+	}
+	wg.Wait()
+	if got := n0.Stats().PacketsSent[ClassApp].Load(); got != senders*per {
+		t.Fatalf("sent counter = %d", got)
+	}
+	if got := n1.Stats().PacketsRecv[ClassApp].Load(); got != senders*per {
+		t.Fatalf("recv counter = %d", got)
+	}
+}
+
+func TestNetCloseUnblocksRecv(t *testing.T) {
+	n0, _, done := newTestNode(t, 4)
+	unblocked := make(chan bool, 1)
+	go func() {
+		_, ok := n0.Recv(ClassApp)
+		unblocked <- ok
+	}()
+	done()
+	if ok := <-unblocked; ok {
+		t.Fatal("Recv returned ok after close")
+	}
+}

@@ -1,0 +1,118 @@
+// Package network implements Graphite's network component (paper §3.3):
+// high-level messaging between tiles built on the physical transport layer,
+// with per-traffic-class network models that update packet timestamps to
+// account for routing, serialization, and contention delays.
+//
+// Three traffic classes exist, mirroring the paper's default configuration:
+// system traffic (simulator control, modeled with zero delay so it cannot
+// perturb results), memory traffic (the coherence protocol), and
+// application traffic (the user-level messaging API). Each class has its
+// own, independently configured model — swapping a model changes timing
+// only, never functionality.
+//
+// Regardless of timestamps, packets are forwarded immediately and delivered
+// in the order received; under lax synchronization a packet may therefore
+// arrive "early" or out of order in simulated time (paper §3.6.1). The
+// receiver's clock discipline (clock.Local.Forward) handles that.
+package network
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Class labels a traffic class with its own network model.
+type Class uint8
+
+const (
+	// ClassSystem is simulator-internal control traffic.
+	ClassSystem Class = iota
+	// ClassMemory is cache-coherence and DRAM traffic.
+	ClassMemory
+	// ClassApp is application-level message-passing traffic.
+	ClassApp
+	// NumClasses is the number of traffic classes.
+	NumClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassSystem:
+		return "system"
+	case ClassMemory:
+		return "memory"
+	case ClassApp:
+		return "app"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Packet is one network message. Time carries the simulated timestamp: the
+// sender stamps it with its local clock plus the modeled network latency,
+// so at delivery it reads "the cycle this packet arrives at Dst".
+type Packet struct {
+	// Class selects the network model and receive queue.
+	Class Class
+	// Type is a protocol-specific message type tag, opaque to the network.
+	Type uint8
+	// Src and Dst are tile endpoints. Control endpoints (MCP/LCP) are
+	// addressed via their negative transport IDs in Src/Dst as well.
+	Src, Dst arch.TileID
+	// Time is the simulated arrival time at Dst.
+	Time arch.Cycles
+	// Seq correlates requests with replies in higher-level protocols.
+	Seq uint64
+	// Payload is the message body; it may be nil.
+	Payload []byte
+}
+
+// headerLen is the encoded size of everything but the payload.
+const headerLen = 1 + 1 + 4 + 4 + 8 + 8 + 4
+
+// Bytes returns the modeled wire size of the packet: header plus payload.
+func (p *Packet) Bytes() int { return headerLen + len(p.Payload) }
+
+// Encode serializes the packet for the transport layer.
+func (p *Packet) Encode() []byte {
+	buf := make([]byte, headerLen+len(p.Payload))
+	buf[0] = byte(p.Class)
+	buf[1] = p.Type
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(int32(p.Src)))
+	binary.LittleEndian.PutUint32(buf[6:10], uint32(int32(p.Dst)))
+	binary.LittleEndian.PutUint64(buf[10:18], uint64(p.Time))
+	binary.LittleEndian.PutUint64(buf[18:26], p.Seq)
+	binary.LittleEndian.PutUint32(buf[26:30], uint32(len(p.Payload)))
+	copy(buf[headerLen:], p.Payload)
+	return buf
+}
+
+// Decode parses a packet from a transport frame. The payload aliases data;
+// callers must not reuse the frame buffer.
+func Decode(data []byte) (Packet, error) {
+	if len(data) < headerLen {
+		return Packet{}, fmt.Errorf("network: short packet (%d bytes)", len(data))
+	}
+	p := Packet{
+		Class: Class(data[0]),
+		Type:  data[1],
+		Src:   arch.TileID(int32(binary.LittleEndian.Uint32(data[2:6]))),
+		Dst:   arch.TileID(int32(binary.LittleEndian.Uint32(data[6:10]))),
+		Time:  arch.Cycles(binary.LittleEndian.Uint64(data[10:18])),
+		Seq:   binary.LittleEndian.Uint64(data[18:26]),
+	}
+	n := binary.LittleEndian.Uint32(data[26:30])
+	if int(n) != len(data)-headerLen {
+		return Packet{}, fmt.Errorf("network: payload length %d does not match frame %d", n, len(data)-headerLen)
+	}
+	if p.Class >= NumClasses {
+		return Packet{}, fmt.Errorf("network: unknown class %d", data[0])
+	}
+	if n > 0 {
+		p.Payload = data[headerLen : headerLen+int(n)]
+	}
+	return p, nil
+}

@@ -1,0 +1,99 @@
+// Package queuemodel implements the out-of-order queue contention model of
+// paper §3.6.1. Under lax synchronization a packet reaching a shared
+// resource (a memory controller, a mesh link) is processed immediately and
+// may carry a timestamp in the simulated past or future, so a conventional
+// cycle-by-cycle queue cannot be simulated. Instead each queue keeps an
+// independent "queue clock" representing when the processing of everything
+// already accepted will complete:
+//
+//	arrival(pkt) = max(timestamp(pkt), globalProgress)
+//	delay(pkt)   = max(0, queueClock - arrival)
+//	queueClock   = max(queueClock, arrival) + processingTime(pkt)
+//
+// where globalProgress comes from a clock.ProgressWindow. A packet's own
+// timestamp participates in the arrival estimate: a tile that has run
+// ahead sends packets that arrive after the backlog has drained and must
+// not be charged for it, while packets from laggard tiles (and tiles with
+// no running thread) are measured against global progress as the paper
+// prescribes. Individual packets are modeled out of order, but aggregate
+// queueing delay matches the offered load.
+package queuemodel
+
+import (
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/clock"
+)
+
+// Queue models one contended resource.
+type Queue struct {
+	mu       sync.Mutex
+	qclock   arch.Cycles
+	progress *clock.ProgressWindow
+
+	// stats
+	packets    uint64
+	totalDelay arch.Cycles
+	busyCycles arch.Cycles
+}
+
+// New returns a queue that measures delay against the given progress
+// window. The window may be shared by many queues.
+func New(progress *clock.ProgressWindow) *Queue {
+	return &Queue{progress: progress}
+}
+
+// Delay accepts a packet that needs processing cycles of service and
+// returns its modeled queueing delay (waiting time, excluding service).
+// now is the packet's own timestamp; it feeds the progress window so that
+// queues stay current even on tiles with no active thread.
+func (q *Queue) Delay(now, processing arch.Cycles) arch.Cycles {
+	if processing < 0 {
+		processing = 0
+	}
+	q.progress.Observe(now)
+	arrive := q.progress.Now()
+	if now > arrive {
+		arrive = now
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var wait arch.Cycles
+	if q.qclock > arrive {
+		wait = q.qclock - arrive
+		q.qclock += processing
+	} else {
+		q.qclock = arrive + processing
+	}
+	q.packets++
+	q.totalDelay += wait
+	q.busyCycles += processing
+	return wait
+}
+
+// Clock returns the current queue clock (diagnostics and tests).
+func (q *Queue) Clock() arch.Cycles {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.qclock
+}
+
+// Stats reports the number of packets seen, the cumulative queueing delay,
+// and the cumulative service time.
+func (q *Queue) Stats() (packets uint64, totalDelay, busy arch.Cycles) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.packets, q.totalDelay, q.busyCycles
+}
+
+// Reset clears the queue clock and statistics.
+func (q *Queue) Reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.qclock = 0
+	q.packets = 0
+	q.totalDelay = 0
+	q.busyCycles = 0
+}

@@ -1,0 +1,192 @@
+// Package stats defines the per-tile statistics records collected during a
+// simulation and their aggregation. Records are plain data and gob-encodable
+// so the MCP can gather them from every host process at simulation end.
+package stats
+
+import (
+	"repro/internal/arch"
+)
+
+// MissKind classifies misses at the coherence point (L2), following the
+// classification used by the SPLASH-2 characterization the paper validates
+// against (Figure 8): cold (first access by this tile), capacity/conflict
+// (line was evicted for space), and coherence misses split into true
+// sharing (a word this tile accesses was written by the invalidating tile)
+// and false sharing (the invalidating writes touched only other words of
+// the line).
+type MissKind uint8
+
+const (
+	// MissCold is a compulsory miss.
+	MissCold MissKind = iota
+	// MissCapacity is a capacity or conflict miss.
+	MissCapacity
+	// MissTrueSharing is a coherence miss on truly shared words.
+	MissTrueSharing
+	// MissFalseSharing is a coherence miss caused only by line granularity.
+	MissFalseSharing
+	// NumMissKinds is the number of classified kinds.
+	NumMissKinds
+)
+
+// String implements fmt.Stringer.
+func (k MissKind) String() string {
+	switch k {
+	case MissCold:
+		return "cold"
+	case MissCapacity:
+		return "capacity"
+	case MissTrueSharing:
+		return "true-sharing"
+	case MissFalseSharing:
+		return "false-sharing"
+	default:
+		return "unknown"
+	}
+}
+
+// Tile is the statistics record of one target tile.
+type Tile struct {
+	TileID arch.TileID
+
+	// Core model.
+	Instructions     uint64
+	Cycles           arch.Cycles // final local clock
+	Branches         uint64
+	BranchMispredict uint64
+	ComputeCycles    arch.Cycles
+	MemStallCycles   arch.Cycles
+	SyncWaitCycles   arch.Cycles
+
+	// Memory references issued by the application.
+	Loads, Stores uint64
+
+	// Cache hierarchy.
+	L1IHits, L1IMisses uint64
+	L1DHits, L1DMisses uint64
+	L2Hits, L2Misses   uint64
+	L2Evictions        uint64
+	L2Writebacks       uint64
+	Upgrades           uint64
+	// MissBy classifies data misses only; instruction-fetch misses are
+	// counted separately so they cannot distort Figure 8.
+	MissBy       [NumMissKinds]uint64
+	IFetchMisses uint64
+
+	// Memory timing.
+	MemLatencyTotal arch.Cycles // summed end-to-end latency of L2 misses
+	MemAccesses     uint64      // L2 misses measured by MemLatencyTotal
+
+	// Home-tile roles.
+	DirRequests   uint64 // coherence requests served as home
+	DirTraps      uint64 // LimitLESS software traps
+	InvSent       uint64 // invalidations issued as home
+	DRAMReads     uint64
+	DRAMWrites    uint64
+	DRAMQueueWait arch.Cycles
+
+	// Network (filled from the tile's Net at collection time).
+	NetPacketsSent uint64
+	NetBytesSent   uint64
+	NetPacketsRecv uint64
+}
+
+// TotalL2Misses returns the sum of the classified miss counters.
+func (t *Tile) TotalL2Misses() uint64 {
+	var n uint64
+	for _, v := range t.MissBy {
+		n += v
+	}
+	return n
+}
+
+// Totals aggregates tile records for reporting.
+type Totals struct {
+	Tiles            int
+	Instructions     uint64
+	MaxCycles        arch.Cycles // simulated run-time: max over tile clocks
+	SumCycles        arch.Cycles
+	Loads, Stores    uint64
+	L1DHits          uint64
+	L1DMisses        uint64
+	L2Hits           uint64
+	L2Misses         uint64
+	Upgrades         uint64
+	MissBy           [NumMissKinds]uint64
+	MemLatencyTotal  arch.Cycles
+	MemAccesses      uint64
+	DirTraps         uint64
+	InvSent          uint64
+	DRAMReads        uint64
+	DRAMWrites       uint64
+	NetPacketsSent   uint64
+	NetBytesSent     uint64
+	Branches         uint64
+	BranchMispredict uint64
+}
+
+// Aggregate folds tile records into totals.
+func Aggregate(tiles []Tile) Totals {
+	var out Totals
+	out.Tiles = len(tiles)
+	for i := range tiles {
+		t := &tiles[i]
+		out.Instructions += t.Instructions
+		if t.Cycles > out.MaxCycles {
+			out.MaxCycles = t.Cycles
+		}
+		out.SumCycles += t.Cycles
+		out.Loads += t.Loads
+		out.Stores += t.Stores
+		out.L1DHits += t.L1DHits
+		out.L1DMisses += t.L1DMisses
+		out.L2Hits += t.L2Hits
+		out.L2Misses += t.L2Misses
+		out.Upgrades += t.Upgrades
+		for k := range t.MissBy {
+			out.MissBy[k] += t.MissBy[k]
+		}
+		out.MemLatencyTotal += t.MemLatencyTotal
+		out.MemAccesses += t.MemAccesses
+		out.DirTraps += t.DirTraps
+		out.InvSent += t.InvSent
+		out.DRAMReads += t.DRAMReads
+		out.DRAMWrites += t.DRAMWrites
+		out.NetPacketsSent += t.NetPacketsSent
+		out.NetBytesSent += t.NetBytesSent
+		out.Branches += t.Branches
+		out.BranchMispredict += t.BranchMispredict
+	}
+	return out
+}
+
+// MissRate returns classified L2 misses per memory reference, as a
+// fraction (the Figure 8 y-axis).
+func (t *Totals) MissRate() float64 {
+	refs := t.Loads + t.Stores
+	if refs == 0 {
+		return 0
+	}
+	var misses uint64
+	for _, v := range t.MissBy {
+		misses += v
+	}
+	return float64(misses) / float64(refs)
+}
+
+// MissRateBy returns the per-kind miss rate.
+func (t *Totals) MissRateBy(k MissKind) float64 {
+	refs := t.Loads + t.Stores
+	if refs == 0 {
+		return 0
+	}
+	return float64(t.MissBy[k]) / float64(refs)
+}
+
+// AvgMemLatency returns the mean end-to-end L2 miss latency in cycles.
+func (t *Totals) AvgMemLatency() float64 {
+	if t.MemAccesses == 0 {
+		return 0
+	}
+	return float64(t.MemLatencyTotal) / float64(t.MemAccesses)
+}

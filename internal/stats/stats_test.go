@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestMissKindStrings(t *testing.T) {
+	for k := MissKind(0); k < NumMissKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if MissKind(200).String() != "unknown" {
+		t.Fatal("unknown kind not labeled")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	tiles := []Tile{
+		{TileID: 0, Instructions: 100, Cycles: 500, Loads: 10, Stores: 5,
+			L2Hits: 8, L2Misses: 7, MissBy: [NumMissKinds]uint64{3, 2, 1, 1},
+			MemLatencyTotal: 700, MemAccesses: 7, Branches: 4, BranchMispredict: 1},
+		{TileID: 1, Instructions: 200, Cycles: 900, Loads: 20, Stores: 15,
+			L2Hits: 30, L2Misses: 5, MissBy: [NumMissKinds]uint64{5, 0, 0, 0},
+			MemLatencyTotal: 500, MemAccesses: 5, Branches: 6, BranchMispredict: 2},
+	}
+	tot := Aggregate(tiles)
+	if tot.Tiles != 2 || tot.Instructions != 300 {
+		t.Fatalf("totals: %+v", tot)
+	}
+	if tot.MaxCycles != 900 || tot.SumCycles != 1400 {
+		t.Fatalf("cycles: max=%d sum=%d", tot.MaxCycles, tot.SumCycles)
+	}
+	if tot.Loads != 30 || tot.Stores != 20 {
+		t.Fatal("memory refs wrong")
+	}
+	if tot.MissBy[MissCold] != 8 || tot.MissBy[MissTrueSharing] != 1 {
+		t.Fatalf("miss kinds: %v", tot.MissBy)
+	}
+	// 12 classified misses over 50 refs.
+	if r := tot.MissRate(); r != 12.0/50 {
+		t.Fatalf("miss rate = %v", r)
+	}
+	if r := tot.MissRateBy(MissCold); r != 8.0/50 {
+		t.Fatalf("cold rate = %v", r)
+	}
+	if l := tot.AvgMemLatency(); l != 100 {
+		t.Fatalf("avg latency = %v", l)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	tot := Aggregate(nil)
+	if tot.MissRate() != 0 || tot.AvgMemLatency() != 0 || tot.MissRateBy(MissCold) != 0 {
+		t.Fatal("empty totals must not divide by zero")
+	}
+}
+
+func TestTileTotalL2Misses(t *testing.T) {
+	ti := Tile{MissBy: [NumMissKinds]uint64{1, 2, 3, 4}}
+	if ti.TotalL2Misses() != 10 {
+		t.Fatalf("total = %d", ti.TotalL2Misses())
+	}
+}
+
+func TestTileGobRoundtrip(t *testing.T) {
+	// Tiles cross process boundaries gob-encoded (MCP stats gathering).
+	in := Tile{TileID: 3, Instructions: 42, Cycles: 99, IFetchMisses: 7,
+		MissBy: [NumMissKinds]uint64{1, 2, 3, 4}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode([]Tile{in}); err != nil {
+		t.Fatal(err)
+	}
+	var out []Tile
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in {
+		t.Fatalf("roundtrip mismatch: %+v", out)
+	}
+}

@@ -1,0 +1,276 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+)
+
+// maxFrame bounds a single transport message (dst header + payload). The
+// largest simulator messages are cache lines plus protocol headers and
+// syscall buffers; 16 MiB is far above anything legitimate and protects
+// against corrupt frames.
+const maxFrame = 16 << 20
+
+// TCPConfig configures one process's attachment to a TCP fabric.
+type TCPConfig struct {
+	// Proc is this process's ID.
+	Proc arch.ProcID
+	// Procs is the total process count.
+	Procs int
+	// Addrs lists the listen address of every process, indexed by ProcID.
+	Addrs []string
+	// Route maps endpoints to owning processes.
+	Route RouteFunc
+	// DialTimeout bounds how long to wait for peers to come up.
+	DialTimeout time.Duration
+}
+
+// tcpTransport implements Transport over a full mesh of TCP connections.
+// The connection dialed from p to q carries only p→q traffic; each process
+// accepts Procs-1 inbound connections and demultiplexes frames into local
+// mailboxes by endpoint ID.
+type tcpTransport struct {
+	cfg      TCPConfig
+	listener net.Listener
+
+	mu     sync.RWMutex
+	boxes  map[EndpointID]*mailbox
+	peers  []*tcpPeer // indexed by ProcID; nil for self
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// DialTCP attaches process cfg.Proc to the fabric: it listens on its own
+// address, dials every other process (retrying until DialTimeout), and
+// starts reader goroutines for inbound connections. All processes must
+// call DialTCP concurrently.
+func DialTCP(cfg TCPConfig) (Transport, error) {
+	if cfg.Procs <= 0 || int(cfg.Proc) >= cfg.Procs {
+		return nil, fmt.Errorf("transport: bad proc %d of %d", cfg.Proc, cfg.Procs)
+	}
+	if len(cfg.Addrs) != cfg.Procs {
+		return nil, fmt.Errorf("transport: %d addrs for %d procs", len(cfg.Addrs), cfg.Procs)
+	}
+	if cfg.Route == nil {
+		cfg.Route = StripedRoute(cfg.Procs)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Proc])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Proc], err)
+	}
+	t := &tcpTransport{
+		cfg:      cfg,
+		listener: ln,
+		boxes:    make(map[EndpointID]*mailbox),
+		peers:    make([]*tcpPeer, cfg.Procs),
+	}
+
+	// Accept inbound connections from the other Procs-1 processes.
+	accepted := make(chan error, 1)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		var err error
+		for i := 0; i < cfg.Procs-1; i++ {
+			conn, aerr := ln.Accept()
+			if aerr != nil {
+				err = aerr
+				break
+			}
+			var hdr [4]byte
+			if _, herr := io.ReadFull(conn, hdr[:]); herr != nil {
+				err = herr
+				conn.Close()
+				break
+			}
+			from := arch.ProcID(binary.LittleEndian.Uint32(hdr[:]))
+			_ = from // connections are unidirectional; sender identity is informational
+			t.wg.Add(1)
+			go t.readLoop(conn)
+		}
+		accepted <- err
+	}()
+
+	// Dial outbound connections.
+	var dialErr error
+	for p := 0; p < cfg.Procs; p++ {
+		if arch.ProcID(p) == cfg.Proc {
+			continue
+		}
+		conn, err := dialRetry(cfg.Addrs[p], cfg.DialTimeout)
+		if err != nil {
+			dialErr = fmt.Errorf("transport: dial proc %d (%s): %w", p, cfg.Addrs[p], err)
+			break
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(cfg.Proc))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			dialErr = fmt.Errorf("transport: handshake to proc %d: %w", p, err)
+			conn.Close()
+			break
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		t.peers[p] = &tcpPeer{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
+	}
+	if dialErr != nil {
+		t.Close()
+		return nil, dialErr
+	}
+	if err := <-accepted; err != nil {
+		t.Close()
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return t, nil
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, lastErr
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		dst := EndpointID(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+		if n > maxFrame {
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return
+		}
+		t.deliverLocal(dst, data)
+	}
+}
+
+func (t *tcpTransport) deliverLocal(dst EndpointID, data []byte) {
+	t.mu.RLock()
+	b := t.boxes[dst]
+	t.mu.RUnlock()
+	if b != nil {
+		b.put(data)
+	}
+	// Frames for unregistered endpoints are dropped; this happens only
+	// during shutdown races and is harmless because simulations quiesce
+	// before teardown.
+}
+
+// Register implements Transport.
+func (t *tcpTransport) Register(id EndpointID) (Endpoint, error) {
+	if owner := t.cfg.Route(id); owner != t.cfg.Proc {
+		return nil, fmt.Errorf("transport: endpoint %d owned by process %d, registered from %d", id, owner, t.cfg.Proc)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := t.boxes[id]; dup {
+		return nil, fmt.Errorf("transport: endpoint %d registered twice", id)
+	}
+	b := newMailbox(id)
+	t.boxes[id] = b
+	return b, nil
+}
+
+// Send implements Transport.
+func (t *tcpTransport) Send(dst EndpointID, data []byte) error {
+	owner := t.cfg.Route(dst)
+	if owner == t.cfg.Proc {
+		t.mu.RLock()
+		b := t.boxes[dst]
+		closed := t.closed
+		t.mu.RUnlock()
+		if closed {
+			return ErrClosed
+		}
+		if b == nil {
+			return fmt.Errorf("transport: send to unregistered local endpoint %d", dst)
+		}
+		return b.put(data)
+	}
+	if int(owner) >= len(t.peers) || t.peers[owner] == nil {
+		return fmt.Errorf("transport: no connection to process %d", owner)
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(data))
+	}
+	p := t.peers[owner]
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(dst)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := p.w.Write(data); err != nil {
+		return err
+	}
+	return p.w.Flush()
+}
+
+// Close implements Transport.
+func (t *tcpTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	boxes := make([]*mailbox, 0, len(t.boxes))
+	for _, b := range t.boxes {
+		boxes = append(boxes, b)
+	}
+	t.mu.Unlock()
+
+	for _, b := range boxes {
+		b.Close()
+	}
+	if t.listener != nil {
+		t.listener.Close()
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+// Package transport implements Graphite's physical transport layer
+// (paper §3.3.1): generic point-to-point byte delivery between simulation
+// endpoints, abstracting whether two endpoints live in the same host
+// process or on different ones.
+//
+// Endpoints are identified by integer IDs: target tiles use their tile
+// number (0..Tiles-1), and simulator control threads use negative IDs (the
+// MCP and one LCP per process). The network layer (internal/network) is
+// built on top of this package; nothing above the network layer sends raw
+// transport messages.
+//
+// Two implementations are provided, mirroring the paper's design where the
+// TCP/IP backend is swappable:
+//
+//   - ChannelFabric: in-memory mailboxes, for single-OS-process
+//     simulations and tests.
+//   - TCP: real sockets with length-prefixed framing, for genuinely
+//     distributed simulations (see cmd/graphite-mp).
+//
+// Delivery is reliable and per-sender FIFO. Mailboxes are unbounded:
+// transport-level sends never block, which is what makes the higher-level
+// memory protocol deadlock-free (a tile can always answer an invalidation
+// even while its own core blocks on a miss).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+)
+
+// EndpointID addresses one logical receiver on the fabric.
+type EndpointID int32
+
+// MCP is the endpoint of the Master Control Program (one per simulation,
+// hosted by process 0).
+const MCP EndpointID = -1
+
+// LCP returns the endpoint of the Local Control Program of process p.
+func LCP(p arch.ProcID) EndpointID { return EndpointID(-2 - int32(p)) }
+
+// TileEndpoint returns the endpoint of a target tile.
+func TileEndpoint(t arch.TileID) EndpointID { return EndpointID(t) }
+
+// ErrClosed is returned by operations on a closed endpoint or transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport is one process's handle on the fabric.
+type Transport interface {
+	// Register claims ownership of endpoint id in this process and
+	// returns its receive handle. Each endpoint may be registered once,
+	// and only by the process that owns it according to the routing map.
+	Register(id EndpointID) (Endpoint, error)
+	// Send delivers data to dst, which may live in any process.
+	// The data slice is owned by the transport after the call.
+	Send(dst EndpointID, data []byte) error
+	// Close shuts down the transport; pending Recv calls return ErrClosed.
+	Close() error
+}
+
+// Endpoint is the receive side of one endpoint ID.
+type Endpoint interface {
+	// ID returns the endpoint's address.
+	ID() EndpointID
+	// Recv blocks until a message arrives and returns it. It returns
+	// ErrClosed after Close.
+	Recv() ([]byte, error)
+	// TryRecv returns the next message without blocking; ok reports
+	// whether one was available.
+	TryRecv() (data []byte, ok bool, err error)
+	// Close closes only this endpoint.
+	Close() error
+}
+
+// RouteFunc maps an endpoint to the process that owns it.
+type RouteFunc func(EndpointID) arch.ProcID
+
+// StripedRoute returns the standard Graphite routing: tile t is owned by
+// process t mod procs, LCP(p) by process p, and the MCP by process 0.
+func StripedRoute(procs int) RouteFunc {
+	return func(id EndpointID) arch.ProcID {
+		switch {
+		case id == MCP:
+			return 0
+		case id < 0: // LCP(p) == -2-p
+			return arch.ProcID(-2 - int32(id))
+		default:
+			return arch.ProcID(int(id) % procs)
+		}
+	}
+}
+
+// mailbox is an unbounded FIFO of messages.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+	id     EndpointID
+}
+
+func newMailbox(id EndpointID) *mailbox {
+	m := &mailbox{id: id}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queue = append(m.queue, data)
+	m.cond.Signal()
+	return nil
+}
+
+// ID implements Endpoint.
+func (m *mailbox) ID() EndpointID { return m.id }
+
+// Recv implements Endpoint.
+func (m *mailbox) Recv() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return nil, ErrClosed
+	}
+	data := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return data, nil
+}
+
+// TryRecv implements Endpoint.
+func (m *mailbox) TryRecv() ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		if m.closed {
+			return nil, false, ErrClosed
+		}
+		return nil, false, nil
+	}
+	data := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return data, true, nil
+}
+
+// Close implements Endpoint.
+func (m *mailbox) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+	return nil
+}
+
+// ChannelFabric is an in-memory fabric shared by every simulated process
+// of one simulation. Create it once, then hand each process its Transport
+// via Process.
+type ChannelFabric struct {
+	mu    sync.RWMutex
+	boxes map[EndpointID]*mailbox
+	route RouteFunc
+	done  bool
+}
+
+// NewChannelFabric creates a fabric using the given routing map. The map
+// is consulted only to enforce registration ownership; in-memory delivery
+// itself needs no routing.
+func NewChannelFabric(route RouteFunc) *ChannelFabric {
+	return &ChannelFabric{boxes: make(map[EndpointID]*mailbox), route: route}
+}
+
+// Process returns the transport handle of process p.
+func (f *ChannelFabric) Process(p arch.ProcID) Transport {
+	return &channelTransport{fabric: f, proc: p}
+}
+
+// Close closes every mailbox on the fabric.
+func (f *ChannelFabric) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return nil
+	}
+	f.done = true
+	for _, b := range f.boxes {
+		b.Close()
+	}
+	return nil
+}
+
+func (f *ChannelFabric) register(p arch.ProcID, id EndpointID) (Endpoint, error) {
+	if owner := f.route(id); owner != p {
+		return nil, fmt.Errorf("transport: endpoint %d owned by process %d, registered from %d", id, owner, p)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return nil, ErrClosed
+	}
+	if _, dup := f.boxes[id]; dup {
+		return nil, fmt.Errorf("transport: endpoint %d registered twice", id)
+	}
+	b := newMailbox(id)
+	f.boxes[id] = b
+	return b, nil
+}
+
+func (f *ChannelFabric) send(dst EndpointID, data []byte) error {
+	f.mu.RLock()
+	b := f.boxes[dst]
+	done := f.done
+	f.mu.RUnlock()
+	if done {
+		return ErrClosed
+	}
+	if b == nil {
+		return fmt.Errorf("transport: send to unregistered endpoint %d", dst)
+	}
+	return b.put(data)
+}
+
+type channelTransport struct {
+	fabric *ChannelFabric
+	proc   arch.ProcID
+}
+
+// Register implements Transport.
+func (t *channelTransport) Register(id EndpointID) (Endpoint, error) {
+	return t.fabric.register(t.proc, id)
+}
+
+// Send implements Transport.
+func (t *channelTransport) Send(dst EndpointID, data []byte) error {
+	return t.fabric.send(dst, data)
+}
+
+// Close implements Transport. Closing any process handle closes the whole
+// fabric; simulations tear down all processes together.
+func (t *channelTransport) Close() error { return t.fabric.Close() }

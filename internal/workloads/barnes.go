@@ -1,0 +1,373 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// barnes implements the SPLASH-2 Barnes-Hut N-body kernel: the main thread
+// builds a quadtree over the particles in simulated memory, then workers
+// compute forces on their owned particles by traversing the shared,
+// read-only tree (Figure 8's barnes pattern: per-thread owned records plus
+// read-mostly shared structure).
+//
+// Scale is the particle count.
+func init() {
+	register(Workload{
+		Name:         "barnes",
+		Description:  "Barnes-Hut quadtree N-body; read-shared tree",
+		DefaultScale: 128,
+		Build:        buildBarnes,
+		Native:       nativeBarnes,
+	})
+}
+
+const (
+	barnesBodies = iota
+	barnesN
+	barnesThreads
+	barnesNodes
+	barnesNodeCount
+	barnesWords
+)
+
+// Body record (64 bytes): x, y, ax, ay, mass, pad.
+const bodyStride = 64
+
+// Tree node record (64 bytes): cx, cy, mass, child[4] int64, leafBody.
+const (
+	nodeStride = 64
+	nodeCX     = 0
+	nodeCY     = 8
+	nodeMass   = 16
+	nodeChild  = 24 // 4 * 8 bytes
+	nodeBody   = 56 // leaf body index or -1
+)
+
+// barnesTheta is the opening-angle threshold.
+const barnesTheta = 0.5
+
+func buildBarnes(p Params) core.Program {
+	work := barnesWork
+	main := func(t *core.Thread, arg uint64) {
+		n := p.Scale
+		block := t.Malloc(barnesWords * 8)
+		bodies := t.Malloc(arch.Addr(n * bodyStride))
+		g := lcg(2718)
+		for i := 0; i < n; i++ {
+			rec := bodies + arch.Addr(i*bodyStride)
+			t.StoreF64(rec+0, g.f64())
+			t.StoreF64(rec+8, g.f64())
+			t.StoreF64(rec+16, 0)
+			t.StoreF64(rec+24, 0)
+			t.StoreF64(rec+32, 0.5+g.f64())
+		}
+		// Build the quadtree sequentially (as the original does between
+		// force phases). Nodes live in a simulated arena.
+		maxNodes := 4*n + 16
+		nodes := t.Malloc(arch.Addr(maxNodes * nodeStride))
+		nb := &treeBuilder{t: t, nodes: nodes, maxNodes: maxNodes}
+		root := nb.newNode()
+		for i := 0; i < n; i++ {
+			rec := bodies + arch.Addr(i*bodyStride)
+			x := t.LoadF64(rec + 0)
+			y := t.LoadF64(rec + 8)
+			m := t.LoadF64(rec + 32)
+			nb.insert(root, i, x, y, m, 0, 0, 1)
+		}
+		nb.summarize(root)
+		t.Store64(block+barnesBodies*8, uint64(bodies))
+		t.Store64(block+barnesN*8, uint64(n))
+		t.Store64(block+barnesThreads*8, uint64(p.Threads))
+		t.Store64(block+barnesNodes*8, uint64(nodes))
+		t.Store64(block+barnesNodeCount*8, uint64(nb.count))
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			rec := bodies + arch.Addr(i*bodyStride)
+			sum += math.Abs(t.LoadF64(rec+16)) + math.Abs(t.LoadF64(rec+24))
+			t.Compute(coremodel.FP, 3)
+		}
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: "barnes", Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+// treeBuilder constructs the quadtree in simulated memory.
+type treeBuilder struct {
+	t        *core.Thread
+	nodes    arch.Addr
+	count    int
+	maxNodes int
+}
+
+func (b *treeBuilder) addr(i int) arch.Addr { return b.nodes + arch.Addr(i*nodeStride) }
+
+func (b *treeBuilder) newNode() int {
+	if b.count >= b.maxNodes {
+		panic("workloads: barnes node arena exhausted")
+	}
+	i := b.count
+	b.count++
+	n := b.addr(i)
+	b.t.StoreF64(n+nodeCX, 0)
+	b.t.StoreF64(n+nodeCY, 0)
+	b.t.StoreF64(n+nodeMass, 0)
+	for c := 0; c < 4; c++ {
+		b.t.Store64(n+nodeChild+arch.Addr(c*8), uint64(math.MaxUint64)) // -1
+	}
+	b.t.Store64(n+nodeBody, uint64(math.MaxUint64))
+	return i
+}
+
+// insert places body idx (at x,y with mass m) into the subtree rooted at
+// node within the cell (ox, oy, size).
+func (b *treeBuilder) insert(node, idx int, x, y, m, ox, oy, size float64) {
+	t := b.t
+	na := b.addr(node)
+	existing := int64(t.Load64(na + nodeBody))
+	hasChildren := false
+	for c := 0; c < 4; c++ {
+		if int64(t.Load64(na+nodeChild+arch.Addr(c*8))) >= 0 {
+			hasChildren = true
+			break
+		}
+	}
+	if existing < 0 && !hasChildren {
+		// Empty leaf: claim it.
+		t.Store64(na+nodeBody, uint64(idx))
+		t.StoreF64(na+nodeCX, x)
+		t.StoreF64(na+nodeCY, y)
+		t.StoreF64(na+nodeMass, m)
+		return
+	}
+	if existing >= 0 {
+		// Split: push the resident body down.
+		ex := t.LoadF64(na + nodeCX)
+		ey := t.LoadF64(na + nodeCY)
+		em := t.LoadF64(na + nodeMass)
+		t.Store64(na+nodeBody, uint64(math.MaxUint64))
+		b.insertChild(node, int(existing), ex, ey, em, ox, oy, size)
+	}
+	b.insertChild(node, idx, x, y, m, ox, oy, size)
+}
+
+func (b *treeBuilder) insertChild(node, idx int, x, y, m, ox, oy, size float64) {
+	t := b.t
+	half := size / 2
+	q := 0
+	cx, cy := ox, oy
+	if x >= ox+half {
+		q |= 1
+		cx += half
+	}
+	if y >= oy+half {
+		q |= 2
+		cy += half
+	}
+	t.Compute(coremodel.FP, 4)
+	na := b.addr(node)
+	childSlot := na + nodeChild + arch.Addr(q*8)
+	child := int64(t.Load64(childSlot))
+	if child < 0 {
+		c := b.newNode()
+		t.Store64(childSlot, uint64(c))
+		child = int64(c)
+	}
+	b.insert(int(child), idx, x, y, m, cx, cy, half)
+}
+
+// summarize fills internal nodes with centers of mass, bottom-up.
+func (b *treeBuilder) summarize(node int) (x, y, m float64) {
+	t := b.t
+	na := b.addr(node)
+	if int64(t.Load64(na+nodeBody)) >= 0 {
+		return t.LoadF64(na + nodeCX), t.LoadF64(na + nodeCY), t.LoadF64(na + nodeMass)
+	}
+	var sx, sy, sm float64
+	for c := 0; c < 4; c++ {
+		child := int64(t.Load64(na + nodeChild + arch.Addr(c*8)))
+		if child < 0 {
+			continue
+		}
+		cx, cy, cm := b.summarize(int(child))
+		sx += cx * cm
+		sy += cy * cm
+		sm += cm
+		t.Compute(coremodel.FP, 5)
+	}
+	if sm > 0 {
+		sx /= sm
+		sy /= sm
+	}
+	t.StoreF64(na+nodeCX, sx)
+	t.StoreF64(na+nodeCY, sy)
+	t.StoreF64(na+nodeMass, sm)
+	return sx, sy, sm
+}
+
+func barnesWork(t *core.Thread, base arch.Addr, idx int) {
+	bodies := arch.Addr(t.Load64(base + barnesBodies*8))
+	n := int(t.Load64(base + barnesN*8))
+	threads := int(t.Load64(base + barnesThreads*8))
+	nodes := arch.Addr(t.Load64(base + barnesNodes*8))
+	bar := base + 1
+	lo, hi := span(n, threads, idx)
+
+	var accel func(node int, size, x, y float64) (ax, ay float64)
+	accel = func(node int, size, x, y float64) (float64, float64) {
+		na := nodes + arch.Addr(node*nodeStride)
+		cx := t.LoadF64(na + nodeCX)
+		cy := t.LoadF64(na + nodeCY)
+		m := t.LoadF64(na + nodeMass)
+		dx, dy := cx-x, cy-y
+		d2 := dx*dx + dy*dy + 1e-4
+		d := math.Sqrt(d2)
+		t.Compute(coremodel.FP, 8)
+		leaf := int64(t.Load64(na+nodeBody)) >= 0
+		if leaf || size/d < barnesTheta {
+			f := m / (d2 * d)
+			t.Compute(coremodel.FP, 4)
+			return dx * f, dy * f
+		}
+		var ax, ay float64
+		for c := 0; c < 4; c++ {
+			child := int64(t.Load64(na + nodeChild + arch.Addr(c*8)))
+			if child < 0 {
+				continue
+			}
+			gx, gy := accel(int(child), size/2, x, y)
+			ax += gx
+			ay += gy
+			t.Compute(coremodel.FP, 2)
+		}
+		return ax, ay
+	}
+
+	for i := lo; i < hi; i++ {
+		rec := bodies + arch.Addr(i*bodyStride)
+		x := t.LoadF64(rec + 0)
+		y := t.LoadF64(rec + 8)
+		ax, ay := accel(0, 1, x, y)
+		t.StoreF64(rec+16, ax)
+		t.StoreF64(rec+24, ay)
+		t.Branch(true)
+	}
+	t.BarrierWait(bar, threads)
+}
+
+func nativeBarnes(p Params) float64 {
+	n := p.Scale
+	type body struct{ x, y, ax, ay, m float64 }
+	bs := make([]body, n)
+	g := lcg(2718)
+	for i := range bs {
+		bs[i] = body{x: g.f64(), y: g.f64(), m: 0.5 + g.f64()}
+	}
+	type node struct {
+		cx, cy, m float64
+		child     [4]int
+		body      int
+	}
+	var ns []node
+	newNode := func() int {
+		ns = append(ns, node{child: [4]int{-1, -1, -1, -1}, body: -1})
+		return len(ns) - 1
+	}
+	var insertChild func(nd, idx int, x, y, m, ox, oy, size float64)
+	var insert func(nd, idx int, x, y, m, ox, oy, size float64)
+	insert = func(nd, idx int, x, y, m, ox, oy, size float64) {
+		hasChildren := false
+		for _, c := range ns[nd].child {
+			if c >= 0 {
+				hasChildren = true
+				break
+			}
+		}
+		if ns[nd].body < 0 && !hasChildren {
+			ns[nd].body = idx
+			ns[nd].cx, ns[nd].cy, ns[nd].m = x, y, m
+			return
+		}
+		if ns[nd].body >= 0 {
+			ex, ey, em, eb := ns[nd].cx, ns[nd].cy, ns[nd].m, ns[nd].body
+			ns[nd].body = -1
+			insertChild(nd, eb, ex, ey, em, ox, oy, size)
+		}
+		insertChild(nd, idx, x, y, m, ox, oy, size)
+	}
+	insertChild = func(nd, idx int, x, y, m, ox, oy, size float64) {
+		half := size / 2
+		q := 0
+		cx, cy := ox, oy
+		if x >= ox+half {
+			q |= 1
+			cx += half
+		}
+		if y >= oy+half {
+			q |= 2
+			cy += half
+		}
+		if ns[nd].child[q] < 0 {
+			ns[nd].child[q] = newNode()
+		}
+		insert(ns[nd].child[q], idx, x, y, m, cx, cy, half)
+	}
+	root := newNode()
+	for i := range bs {
+		insert(root, i, bs[i].x, bs[i].y, bs[i].m, 0, 0, 1)
+	}
+	var summarize func(nd int) (x, y, m float64)
+	summarize = func(nd int) (float64, float64, float64) {
+		if ns[nd].body >= 0 {
+			return ns[nd].cx, ns[nd].cy, ns[nd].m
+		}
+		var sx, sy, sm float64
+		for _, c := range ns[nd].child {
+			if c < 0 {
+				continue
+			}
+			cx, cy, cm := summarize(c)
+			sx += cx * cm
+			sy += cy * cm
+			sm += cm
+		}
+		if sm > 0 {
+			sx /= sm
+			sy /= sm
+		}
+		ns[nd].cx, ns[nd].cy, ns[nd].m = sx, sy, sm
+		return sx, sy, sm
+	}
+	summarize(root)
+	var accel func(nd int, size, x, y float64) (float64, float64)
+	accel = func(nd int, size, x, y float64) (float64, float64) {
+		dx, dy := ns[nd].cx-x, ns[nd].cy-y
+		d2 := dx*dx + dy*dy + 1e-4
+		d := math.Sqrt(d2)
+		if ns[nd].body >= 0 || size/d < barnesTheta {
+			f := ns[nd].m / (d2 * d)
+			return dx * f, dy * f
+		}
+		var ax, ay float64
+		for _, c := range ns[nd].child {
+			if c < 0 {
+				continue
+			}
+			gx, gy := accel(c, size/2, x, y)
+			ax += gx
+			ay += gy
+		}
+		return ax, ay
+	}
+	sum := 0.0
+	for i := range bs {
+		ax, ay := accel(root, 1, bs[i].x, bs[i].y)
+		sum += math.Abs(ax) + math.Abs(ay)
+	}
+	return sum
+}

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// blackscholes is the PARSEC option-pricing benchmark used in the Figure 9
+// coherence study. It is nearly perfectly parallel — workers initialize
+// and price their own contiguous slices of the option array (parallel
+// first touch, as PARSEC's per-thread partitioning gives) — but every
+// pricing reads a small read-only global parameter block (risk-free rate
+// and volatility). That heavily shared read-only line is exactly what
+// separates the directory protocols: full-map and LimitLESS let every
+// tile cache it, while Dir_iNB keeps evicting sharers once more than i
+// tiles hold it.
+//
+// Scale is log2 of the option count.
+func init() {
+	register(Workload{
+		Name:         "blackscholes",
+		Description:  "option pricing; read-only shared globals",
+		DefaultScale: 11,
+		Build:        buildBlackscholes,
+		Native:       nativeBlackscholes,
+	})
+}
+
+const (
+	bsOptions = iota
+	bsN
+	bsThreads
+	bsGlobals
+	bsWords
+)
+
+// Option record (64 bytes): spot, strike, time, outPrice, pad.
+const optionStride = 64
+
+// Global parameter block (one line): rate, volatility.
+const (
+	bsRate = 0
+	bsVol  = 8
+)
+
+// bsFPWork models the arithmetic of one pricing: log, exp, sqrt, two
+// evaluations of the CND polynomial — a couple hundred FP operations in
+// the PARSEC kernel.
+const bsFPWork = 220
+
+// bsRuns repeats the pricing pass over the whole option set, as PARSEC's
+// NUM_RUNS loop does (100 in the original; scaled down). The repeated
+// passes are what expose the directory protocols: every pass re-reads the
+// shared globals, which hit in-cache under full-map but keep missing
+// under Dir_iNB once more than i tiles share the line.
+const bsRuns = 8
+
+// optParams derives option i's inputs from a per-option hash, so
+// initialization order (and thus parallelization) cannot change values.
+func optParams(i int) (spot, strike, tm float64) {
+	g := lcg(8181 + uint64(i)*0x9E3779B9)
+	return 50 + 100*g.f64(), 50 + 100*g.f64(), 0.1 + 2*g.f64()
+}
+
+// cnd is the cumulative normal distribution (Abramowitz-Stegun), the same
+// polynomial PARSEC uses.
+func cnd(x float64) float64 {
+	l := math.Abs(x)
+	k := 1 / (1 + 0.2316419*l)
+	w := 1 - 1/math.Sqrt(2*math.Pi)*math.Exp(-l*l/2)*
+		(0.31938153*k-0.356563782*k*k+1.781477937*k*k*k-
+			1.821255978*k*k*k*k+1.330274429*k*k*k*k*k)
+	if x < 0 {
+		return 1 - w
+	}
+	return w
+}
+
+// bsPrice prices one European call.
+func bsPrice(spot, strike, tm, rate, vol float64) float64 {
+	d1 := (math.Log(spot/strike) + (rate+vol*vol/2)*tm) / (vol * math.Sqrt(tm))
+	d2 := d1 - vol*math.Sqrt(tm)
+	return spot*cnd(d1) - strike*math.Exp(-rate*tm)*cnd(d2)
+}
+
+func buildBlackscholes(p Params) core.Program {
+	work := bsWork
+	main := func(t *core.Thread, arg uint64) {
+		n := 1 << p.Scale
+		block := t.Malloc(bsWords * 8)
+		opts := t.Malloc(arch.Addr(n * optionStride))
+		globals := t.Malloc(64)
+		t.StoreF64(globals+bsRate, 0.05)
+		t.StoreF64(globals+bsVol, 0.3)
+		t.Store64(block+bsOptions*8, uint64(opts))
+		t.Store64(block+bsN*8, uint64(n))
+		t.Store64(block+bsThreads*8, uint64(p.Threads))
+		t.Store64(block+bsGlobals*8, uint64(globals))
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += t.LoadF64(opts + arch.Addr(i*optionStride+24))
+		}
+		t.Compute(coremodel.FP, n)
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: "blackscholes", Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+func bsWork(t *core.Thread, base arch.Addr, idx int) {
+	opts := arch.Addr(t.Load64(base + bsOptions*8))
+	n := int(t.Load64(base + bsN*8))
+	threads := int(t.Load64(base + bsThreads*8))
+	globals := arch.Addr(t.Load64(base + bsGlobals*8))
+	lo, hi := span(n, threads, idx)
+
+	// Parallel first-touch initialization of the owned slice.
+	for i := lo; i < hi; i++ {
+		rec := opts + arch.Addr(i*optionStride)
+		spot, strike, tm := optParams(i)
+		t.Compute(coremodel.Arith, 9) // hash-based parameter generation
+		t.StoreF64(rec+0, spot)
+		t.StoreF64(rec+8, strike)
+		t.StoreF64(rec+16, tm)
+	}
+
+	// Pricing passes over the owned slice (PARSEC's NUM_RUNS loop).
+	for run := 0; run < bsRuns; run++ {
+		for i := lo; i < hi; i++ {
+			rec := opts + arch.Addr(i*optionStride)
+			spot := t.LoadF64(rec + 0)
+			strike := t.LoadF64(rec + 8)
+			tm := t.LoadF64(rec + 16)
+			// Every option re-reads the shared globals, as the PARSEC
+			// code re-reads its global rate/volatility variables.
+			rate := t.LoadF64(globals + bsRate)
+			vol := t.LoadF64(globals + bsVol)
+			price := bsPrice(spot, strike, tm, rate, vol)
+			t.Compute(coremodel.FP, bsFPWork)
+			t.StoreF64(rec+24, price)
+			t.Branch(true)
+		}
+	}
+}
+
+func nativeBlackscholes(p Params) float64 {
+	n := 1 << p.Scale
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		spot, strike, tm := optParams(i)
+		var price float64
+		for run := 0; run < bsRuns; run++ {
+			price = bsPrice(spot, strike, tm, 0.05, 0.3)
+		}
+		sum += price
+	}
+	return sum
+}

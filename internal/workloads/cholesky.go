@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// cholesky implements a dense right-looking Cholesky factorization of a
+// symmetric diagonally dominant matrix (the SPLASH-2 version factors
+// sparse matrices; the dense kernel preserves the dependence structure:
+// a pivot step, a column scale, and a trailing-submatrix update with
+// barriers between them). Row ownership is interleaved.
+//
+// Scale is the matrix dimension.
+func init() {
+	register(Workload{
+		Name:         "cholesky",
+		Description:  "dense Cholesky; pivot/scale/update with barriers",
+		DefaultScale: 48,
+		Build:        buildCholesky,
+		Native:       nativeCholesky,
+	})
+}
+
+const (
+	cholMatrix = iota
+	cholN
+	cholThreads
+	cholWords
+)
+
+func buildCholesky(p Params) core.Program {
+	work := cholWork
+	main := func(t *core.Thread, arg uint64) {
+		n := p.Scale
+		stride := n * 8
+		block := t.Malloc(cholWords * 8)
+		mat := t.Malloc(arch.Addr(n * stride))
+		g := lcg(555)
+		// Symmetric, diagonally dominant: a[i][j] = a[j][i] in (0,1),
+		// a[i][i] += n.
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := g.f64()
+				if i == j {
+					v += float64(n)
+				}
+				t.StoreF64(mat+arch.Addr(i*stride+j*8), v)
+				if i != j {
+					t.StoreF64(mat+arch.Addr(j*stride+i*8), v)
+				}
+			}
+		}
+		t.Store64(block+cholMatrix*8, uint64(mat))
+		t.Store64(block+cholN*8, uint64(n))
+		t.Store64(block+cholThreads*8, uint64(p.Threads))
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				sum += math.Abs(t.LoadF64(mat + arch.Addr(i*stride+j*8)))
+			}
+			t.Compute(coremodel.FP, 2*(i+1))
+		}
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: "cholesky", Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+func cholWork(t *core.Thread, base arch.Addr, idx int) {
+	mat := arch.Addr(t.Load64(base + cholMatrix*8))
+	n := int(t.Load64(base + cholN*8))
+	threads := int(t.Load64(base + cholThreads*8))
+	stride := n * 8
+	bar := base + 1
+
+	at := func(i, j int) arch.Addr { return mat + arch.Addr(i*stride+j*8) }
+	for k := 0; k < n; k++ {
+		// Pivot: the owner of row k takes the square root.
+		if k%threads == idx {
+			akk := t.LoadF64(at(k, k))
+			t.StoreF64(at(k, k), math.Sqrt(akk))
+			t.Compute(coremodel.FP, 15) // sqrt cost
+		}
+		t.BarrierWait(bar+arch.Addr(3*k), threads)
+		// Scale: each owner divides its below-diagonal entries in column k.
+		lkk := t.LoadF64(at(k, k))
+		for i := k + 1; i < n; i++ {
+			if i%threads != idx {
+				continue
+			}
+			t.StoreF64(at(i, k), t.LoadF64(at(i, k))/lkk)
+			t.Compute(coremodel.Div, 1)
+		}
+		t.BarrierWait(bar+arch.Addr(3*k+1), threads)
+		// Update the trailing lower triangle with owned rows.
+		for i := k + 1; i < n; i++ {
+			if i%threads != idx {
+				continue
+			}
+			lik := t.LoadF64(at(i, k))
+			for j := k + 1; j <= i; j++ {
+				ljk := t.LoadF64(at(j, k))
+				t.StoreF64(at(i, j), t.LoadF64(at(i, j))-lik*ljk)
+				t.Compute(coremodel.FP, 2)
+			}
+			t.Branch(true)
+		}
+		t.BarrierWait(bar+arch.Addr(3*k+2), threads)
+	}
+}
+
+func nativeCholesky(p Params) float64 {
+	n := p.Scale
+	a := make([][]float64, n)
+	g := lcg(555)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.f64()
+			if i == j {
+				v += float64(n)
+			}
+			a[i][j] = v
+			a[j][i] = v
+		}
+	}
+	for k := 0; k < n; k++ {
+		a[k][k] = math.Sqrt(a[k][k])
+		for i := k + 1; i < n; i++ {
+			a[i][k] /= a[k][k]
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j <= i; j++ {
+				a[i][j] -= a[i][k] * a[j][k]
+			}
+		}
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum += math.Abs(a[i][j])
+		}
+	}
+	return sum
+}

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// fft is the SPLASH-2 FFT kernel: a radix-2 decimation-in-time transform
+// over n complex points stored contiguously (16 bytes per point). The
+// contiguous layout gives the perfect spatial locality the paper cites for
+// fft in the Figure 8 study: miss rates drop linearly with line size.
+// Communication is the all-to-all of the bit-reversal and the
+// cross-owner reads of the butterfly stages, with a barrier per stage.
+//
+// Scale is log2 of the point count.
+func init() {
+	register(Workload{
+		Name:         "fft",
+		Description:  "radix-2 FFT; contiguous complex data, barrier per stage",
+		DefaultScale: 10,
+		Build:        buildFFT,
+		Native:       nativeFFT,
+	})
+}
+
+// fft parameter block layout (8-byte words).
+const (
+	fftData = iota // data array base
+	fftN           // point count
+	fftThreads
+	fftWords
+)
+
+func buildFFT(p Params) core.Program {
+	work := fftWork
+	main := func(t *core.Thread, arg uint64) {
+		n := 1 << p.Scale
+		block := t.Malloc(fftWords * 8)
+		data := t.Malloc(arch.Addr(n * 16))
+		g := lcg(12345)
+		for i := 0; i < n; i++ {
+			t.StoreF64(data+arch.Addr(i*16), g.f64()*2-1)
+			t.StoreF64(data+arch.Addr(i*16+8), g.f64()*2-1)
+			t.Compute(coremodel.Arith, 2)
+		}
+		t.Store64(block+fftData*8, uint64(data))
+		t.Store64(block+fftN*8, uint64(n))
+		t.Store64(block+fftThreads*8, uint64(p.Threads))
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			re := t.LoadF64(data + arch.Addr(i*16))
+			im := t.LoadF64(data + arch.Addr(i*16+8))
+			sum += math.Abs(re) + math.Abs(im)
+			t.Compute(coremodel.FP, 3)
+		}
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: "fft", Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+// bitrev reverses the low bits bits of i.
+func bitrev(i, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = r<<1 | (i>>b)&1
+	}
+	return r
+}
+
+func fftWork(t *core.Thread, base arch.Addr, idx int) {
+	data := arch.Addr(t.Load64(base + fftData*8))
+	n := int(t.Load64(base + fftN*8))
+	threads := int(t.Load64(base + fftThreads*8))
+	bar := base + 1 // barrier key (no storage behind it)
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+
+	// Bit-reversal permutation: the owner of the smaller index swaps.
+	lo, hi := span(n, threads, idx)
+	for i := lo; i < hi; i++ {
+		j := bitrev(i, logn)
+		t.Compute(coremodel.Arith, 4)
+		if j > i {
+			ar := t.LoadF64(data + arch.Addr(i*16))
+			ai := t.LoadF64(data + arch.Addr(i*16+8))
+			br := t.LoadF64(data + arch.Addr(j*16))
+			bi := t.LoadF64(data + arch.Addr(j*16+8))
+			t.StoreF64(data+arch.Addr(i*16), br)
+			t.StoreF64(data+arch.Addr(i*16+8), bi)
+			t.StoreF64(data+arch.Addr(j*16), ar)
+			t.StoreF64(data+arch.Addr(j*16+8), ai)
+		}
+	}
+	t.BarrierWait(bar, threads)
+
+	// log n butterfly stages, each followed by a barrier.
+	for s := 1; s <= logn; s++ {
+		m := 1 << s
+		half := m >> 1
+		blo, bhi := span(n/2, threads, idx)
+		for b := blo; b < bhi; b++ {
+			grp := b / half
+			k := b % half
+			i1 := grp*m + k
+			i2 := i1 + half
+			ang := -2 * math.Pi * float64(k) / float64(m)
+			wr, wi := math.Cos(ang), math.Sin(ang)
+			t.Compute(coremodel.FP, 8) // twiddle computation
+			x1r := t.LoadF64(data + arch.Addr(i1*16))
+			x1i := t.LoadF64(data + arch.Addr(i1*16+8))
+			x2r := t.LoadF64(data + arch.Addr(i2*16))
+			x2i := t.LoadF64(data + arch.Addr(i2*16+8))
+			tr := wr*x2r - wi*x2i
+			ti := wr*x2i + wi*x2r
+			t.Compute(coremodel.FP, 10)
+			t.StoreF64(data+arch.Addr(i1*16), x1r+tr)
+			t.StoreF64(data+arch.Addr(i1*16+8), x1i+ti)
+			t.StoreF64(data+arch.Addr(i2*16), x1r-tr)
+			t.StoreF64(data+arch.Addr(i2*16+8), x1i-ti)
+		}
+		t.BarrierWait(bar+arch.Addr(s), threads)
+	}
+}
+
+func nativeFFT(p Params) float64 {
+	n := 1 << p.Scale
+	re := make([]float64, n)
+	im := make([]float64, n)
+	g := lcg(12345)
+	for i := 0; i < n; i++ {
+		re[i] = g.f64()*2 - 1
+		im[i] = g.f64()*2 - 1
+	}
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	for i := 0; i < n; i++ {
+		j := bitrev(i, logn)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for s := 1; s <= logn; s++ {
+		m := 1 << s
+		half := m >> 1
+		for b := 0; b < n/2; b++ {
+			grp := b / half
+			k := b % half
+			i1 := grp*m + k
+			i2 := i1 + half
+			ang := -2 * math.Pi * float64(k) / float64(m)
+			wr, wi := math.Cos(ang), math.Sin(ang)
+			tr := wr*re[i2] - wi*im[i2]
+			ti := wr*im[i2] + wi*re[i2]
+			re[i1], im[i1], re[i2], im[i2] = re[i1]+tr, im[i1]+ti, re[i1]-tr, im[i1]-ti
+		}
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Abs(re[i]) + math.Abs(im[i])
+	}
+	return sum
+}

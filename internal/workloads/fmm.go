@@ -1,0 +1,212 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// fmm implements the communication skeleton of the SPLASH-2 fast multipole
+// method: particles grouped into clusters, an upward pass computing
+// cluster multipole summaries (here, centers of mass), and a force pass
+// where near-field interactions are evaluated exactly within a cluster
+// and far-field interactions through other clusters' summaries. Almost
+// all work is local O(m²) arithmetic on owned particles — the high
+// compute-to-communication ratio that makes fmm the best-scaling SPLASH
+// benchmark in Table 2 (41x slowdown on 8 machines).
+//
+// Scale is the particle count; clusters hold 16 particles each.
+func init() {
+	register(Workload{
+		Name:         "fmm",
+		Description:  "fast multipole skeleton; compute-heavy near field",
+		DefaultScale: 256,
+		Build:        buildFMM,
+		Native:       nativeFMM,
+	})
+}
+
+const (
+	fmmParticles = iota
+	fmmN
+	fmmThreads
+	fmmSummaries
+	fmmClusters
+	fmmWords
+)
+
+// Particle record (32 bytes): x, y, fx, fy.
+const particleStride = 32
+
+// Cluster summary record (64 bytes, line-padded): cx, cy, mass.
+const summaryStride = 64
+
+// fmmClusterSize is the number of particles per cluster.
+const fmmClusterSize = 16
+
+func buildFMM(p Params) core.Program {
+	work := fmmWork
+	main := func(t *core.Thread, arg uint64) {
+		n := p.Scale - p.Scale%fmmClusterSize
+		if n == 0 {
+			n = fmmClusterSize
+		}
+		clusters := n / fmmClusterSize
+		block := t.Malloc(fmmWords * 8)
+		parts := t.Malloc(arch.Addr(n * particleStride))
+		sums := t.Malloc(arch.Addr(clusters * summaryStride))
+		g := lcg(161803)
+		for i := 0; i < n; i++ {
+			rec := parts + arch.Addr(i*particleStride)
+			c := i / fmmClusterSize
+			// Particles of a cluster are spatially grouped.
+			baseX := float64(c%8) / 8
+			baseY := float64(c/8) / 8
+			t.StoreF64(rec+0, baseX+g.f64()/8)
+			t.StoreF64(rec+8, baseY+g.f64()/8)
+			t.StoreF64(rec+16, 0)
+			t.StoreF64(rec+24, 0)
+		}
+		t.Store64(block+fmmParticles*8, uint64(parts))
+		t.Store64(block+fmmN*8, uint64(n))
+		t.Store64(block+fmmThreads*8, uint64(p.Threads))
+		t.Store64(block+fmmSummaries*8, uint64(sums))
+		t.Store64(block+fmmClusters*8, uint64(clusters))
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			rec := parts + arch.Addr(i*particleStride)
+			sum += math.Abs(t.LoadF64(rec+16)) + math.Abs(t.LoadF64(rec+24))
+			t.Compute(coremodel.FP, 3)
+		}
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: "fmm", Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+func fmmWork(t *core.Thread, base arch.Addr, idx int) {
+	parts := arch.Addr(t.Load64(base + fmmParticles*8))
+	threads := int(t.Load64(base + fmmThreads*8))
+	sums := arch.Addr(t.Load64(base + fmmSummaries*8))
+	clusters := int(t.Load64(base + fmmClusters*8))
+	bar := base + 1
+	clo, chi := span(clusters, threads, idx)
+
+	// Upward pass: summarize owned clusters.
+	for c := clo; c < chi; c++ {
+		var sx, sy float64
+		for k := 0; k < fmmClusterSize; k++ {
+			rec := parts + arch.Addr((c*fmmClusterSize+k)*particleStride)
+			sx += t.LoadF64(rec + 0)
+			sy += t.LoadF64(rec + 8)
+			t.Compute(coremodel.FP, 2)
+		}
+		s := sums + arch.Addr(c*summaryStride)
+		t.StoreF64(s+0, sx/fmmClusterSize)
+		t.StoreF64(s+8, sy/fmmClusterSize)
+		t.StoreF64(s+16, fmmClusterSize)
+		t.Compute(coremodel.FP, 2)
+	}
+	t.BarrierWait(bar, threads)
+
+	// Force pass: exact near field within the cluster, summaries afar.
+	for c := clo; c < chi; c++ {
+		for k := 0; k < fmmClusterSize; k++ {
+			i := c*fmmClusterSize + k
+			rec := parts + arch.Addr(i*particleStride)
+			xi := t.LoadF64(rec + 0)
+			yi := t.LoadF64(rec + 8)
+			var fx, fy float64
+			for k2 := 0; k2 < fmmClusterSize; k2++ {
+				if k2 == k {
+					continue
+				}
+				rj := parts + arch.Addr((c*fmmClusterSize+k2)*particleStride)
+				dx := t.LoadF64(rj+0) - xi
+				dy := t.LoadF64(rj+8) - yi
+				d2 := dx*dx + dy*dy + 1e-6
+				f := 1 / (d2 * math.Sqrt(d2))
+				fx += dx * f
+				fy += dy * f
+				t.Compute(coremodel.FP, 14)
+			}
+			for c2 := 0; c2 < clusters; c2++ {
+				if c2 == c {
+					continue
+				}
+				s := sums + arch.Addr(c2*summaryStride)
+				dx := t.LoadF64(s+0) - xi
+				dy := t.LoadF64(s+8) - yi
+				m := t.LoadF64(s + 16)
+				d2 := dx*dx + dy*dy + 1e-6
+				f := m / (d2 * math.Sqrt(d2))
+				fx += dx * f
+				fy += dy * f
+				t.Compute(coremodel.FP, 15)
+			}
+			t.StoreF64(rec+16, fx)
+			t.StoreF64(rec+24, fy)
+			t.Branch(true)
+		}
+	}
+	t.BarrierWait(bar+1, threads)
+}
+
+func nativeFMM(p Params) float64 {
+	n := p.Scale - p.Scale%fmmClusterSize
+	if n == 0 {
+		n = fmmClusterSize
+	}
+	clusters := n / fmmClusterSize
+	x := make([]float64, n)
+	y := make([]float64, n)
+	g := lcg(161803)
+	for i := 0; i < n; i++ {
+		c := i / fmmClusterSize
+		x[i] = float64(c%8)/8 + g.f64()/8
+		y[i] = float64(c/8)/8 + g.f64()/8
+	}
+	sx := make([]float64, clusters)
+	sy := make([]float64, clusters)
+	for c := 0; c < clusters; c++ {
+		for k := 0; k < fmmClusterSize; k++ {
+			sx[c] += x[c*fmmClusterSize+k]
+			sy[c] += y[c*fmmClusterSize+k]
+		}
+		sx[c] /= fmmClusterSize
+		sy[c] /= fmmClusterSize
+	}
+	sum := 0.0
+	for c := 0; c < clusters; c++ {
+		for k := 0; k < fmmClusterSize; k++ {
+			i := c*fmmClusterSize + k
+			var fx, fy float64
+			for k2 := 0; k2 < fmmClusterSize; k2++ {
+				if k2 == k {
+					continue
+				}
+				j := c*fmmClusterSize + k2
+				dx, dy := x[j]-x[i], y[j]-y[i]
+				d2 := dx*dx + dy*dy + 1e-6
+				f := 1 / (d2 * math.Sqrt(d2))
+				fx += dx * f
+				fy += dy * f
+			}
+			for c2 := 0; c2 < clusters; c2++ {
+				if c2 == c {
+					continue
+				}
+				dx, dy := sx[c2]-x[i], sy[c2]-y[i]
+				d2 := dx*dx + dy*dy + 1e-6
+				f := fmmClusterSize / (d2 * math.Sqrt(d2))
+				fx += dx * f
+				fy += dy * f
+			}
+			sum += math.Abs(fx) + math.Abs(fy)
+		}
+	}
+	return sum
+}

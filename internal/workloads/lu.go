@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// lu implements the SPLASH-2 LU factorization in its two variants:
+//
+//   - lu_cont: rows are padded to cache-line multiples and each worker
+//     owns a contiguous band — the "contiguous blocks" allocation whose
+//     perfect spatial locality makes miss rates fall linearly with line
+//     size (Figure 8);
+//   - lu_non_cont: rows are packed end-to-end and ownership is
+//     interleaved row-by-row, so adjacent owners share cache lines and
+//     suffer false sharing, and per-owner data is strided.
+//
+// The algorithm is Gaussian elimination storing multipliers in place
+// (Doolittle LU without pivoting on a diagonally dominant matrix), with a
+// barrier per elimination step. Scale is the matrix dimension.
+func init() {
+	register(Workload{
+		Name:         "lu_cont",
+		Description:  "dense LU, contiguous padded rows per worker",
+		DefaultScale: 64,
+		Build:        func(p Params) core.Program { return buildLU(p, true) },
+		Native:       nativeLU,
+	})
+	register(Workload{
+		Name:         "lu_non_cont",
+		Description:  "dense LU, packed rows with interleaved ownership",
+		DefaultScale: 64,
+		Build:        func(p Params) core.Program { return buildLU(p, false) },
+		Native:       nativeLU,
+	})
+}
+
+const (
+	luMatrix = iota // matrix base
+	luN
+	luStride // row stride in bytes
+	luThreads
+	luCont // 1 for contiguous-band ownership
+	luWords
+)
+
+func luStrideBytes(n int, contiguous bool) int {
+	if contiguous {
+		return (n*8 + 63) &^ 63 // pad rows to line multiples
+	}
+	return n * 8
+}
+
+func buildLU(p Params, contiguous bool) core.Program {
+	work := luWork
+	name := "lu_non_cont"
+	if contiguous {
+		name = "lu_cont"
+	}
+	main := func(t *core.Thread, arg uint64) {
+		n := p.Scale
+		stride := luStrideBytes(n, contiguous)
+		block := t.Malloc(luWords * 8)
+		mat := t.Malloc(arch.Addr(n * stride))
+		g := lcg(777)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := g.f64()
+				if i == j {
+					v += float64(n) // diagonal dominance
+				}
+				t.StoreF64(mat+arch.Addr(i*stride+j*8), v)
+			}
+			t.Compute(coremodel.FP, n)
+		}
+		t.Store64(block+luMatrix*8, uint64(mat))
+		t.Store64(block+luN*8, uint64(n))
+		t.Store64(block+luStride*8, uint64(stride))
+		t.Store64(block+luThreads*8, uint64(p.Threads))
+		cont := uint64(0)
+		if contiguous {
+			cont = 1
+		}
+		t.Store64(block+luCont*8, cont)
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum += math.Abs(t.LoadF64(mat + arch.Addr(i*stride+j*8)))
+			}
+			t.Compute(coremodel.FP, 2*n)
+		}
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: name, Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+// luOwns reports whether worker idx owns row i.
+func luOwns(i, n, threads, idx int, contiguous bool) bool {
+	if contiguous {
+		lo, hi := span(n, threads, idx)
+		return i >= lo && i < hi
+	}
+	return i%threads == idx
+}
+
+func luWork(t *core.Thread, base arch.Addr, idx int) {
+	mat := arch.Addr(t.Load64(base + luMatrix*8))
+	n := int(t.Load64(base + luN*8))
+	stride := int(t.Load64(base + luStride*8))
+	threads := int(t.Load64(base + luThreads*8))
+	contiguous := t.Load64(base+luCont*8) == 1
+	bar := base + 1
+
+	for k := 0; k < n-1; k++ {
+		pivot := t.LoadF64(mat + arch.Addr(k*stride+k*8))
+		for i := k + 1; i < n; i++ {
+			if !luOwns(i, n, threads, idx, contiguous) {
+				continue
+			}
+			aik := t.LoadF64(mat + arch.Addr(i*stride+k*8))
+			m := aik / pivot
+			t.Compute(coremodel.Div, 1)
+			t.StoreF64(mat+arch.Addr(i*stride+k*8), m)
+			for j := k + 1; j < n; j++ {
+				akj := t.LoadF64(mat + arch.Addr(k*stride+j*8))
+				aij := t.LoadF64(mat + arch.Addr(i*stride+j*8))
+				t.StoreF64(mat+arch.Addr(i*stride+j*8), aij-m*akj)
+				t.Compute(coremodel.FP, 2)
+			}
+			t.Branch(true)
+		}
+		t.BarrierWait(bar, threads)
+	}
+}
+
+func nativeLU(p Params) float64 {
+	n := p.Scale
+	a := make([][]float64, n)
+	g := lcg(777)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = g.f64()
+			if i == j {
+				a[i][j] += float64(n)
+			}
+		}
+	}
+	for k := 0; k < n-1; k++ {
+		for i := k + 1; i < n; i++ {
+			m := a[i][k] / a[k][k]
+			a[i][k] = m
+			for j := k + 1; j < n; j++ {
+				a[i][j] -= m * a[k][j]
+			}
+		}
+	}
+	sum := 0.0
+	for i := range a {
+		for j := range a[i] {
+			sum += math.Abs(a[i][j])
+		}
+	}
+	return sum
+}

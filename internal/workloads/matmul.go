@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// matmul is the matrix-multiply kernel of Figure 5: C = A×B with workers
+// owning contiguous row bands of C, reading all of B (read sharing), and
+// exchanging a small message with their ring neighbour after each row —
+// the "frequent synchronization via messages with neighbors" the paper
+// chose it for. It scales to a thread per tile (1024 in Figure 5).
+//
+// Scale is the matrix dimension.
+func init() {
+	register(Workload{
+		Name:         "matmul",
+		Description:  "banded matrix multiply with neighbour messaging",
+		DefaultScale: 48,
+		Build:        buildMatmul,
+		Native:       nativeMatmul,
+	})
+}
+
+const (
+	mmA = iota
+	mmB
+	mmC
+	mmN
+	mmThreads
+	mmWords
+)
+
+func buildMatmul(p Params) core.Program {
+	work := matmulWork
+	main := func(t *core.Thread, arg uint64) {
+		n := p.Scale
+		block := t.Malloc(mmWords * 8)
+		a := t.Malloc(arch.Addr(n * n * 8))
+		b := t.Malloc(arch.Addr(n * n * 8))
+		c := t.Malloc(arch.Addr(n * n * 8))
+		g := lcg(1001)
+		for i := 0; i < n*n; i++ {
+			t.StoreF64(a+arch.Addr(i*8), g.f64())
+			t.StoreF64(b+arch.Addr(i*8), g.f64())
+		}
+		t.Store64(block+mmA*8, uint64(a))
+		t.Store64(block+mmB*8, uint64(b))
+		t.Store64(block+mmC*8, uint64(c))
+		t.Store64(block+mmN*8, uint64(n))
+		t.Store64(block+mmThreads*8, uint64(p.Threads))
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < n*n; i++ {
+			sum += t.LoadF64(c + arch.Addr(i*8))
+		}
+		t.Compute(coremodel.FP, n*n)
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: "matmul", Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+func matmulWork(t *core.Thread, base arch.Addr, idx int) {
+	a := arch.Addr(t.Load64(base + mmA*8))
+	b := arch.Addr(t.Load64(base + mmB*8))
+	c := arch.Addr(t.Load64(base + mmC*8))
+	n := int(t.Load64(base + mmN*8))
+	threads := int(t.Load64(base + mmThreads*8))
+	lo, hi := span(n, threads, idx)
+
+	// Ring neighbours (thread IDs equal tile IDs, main is worker 0).
+	// Every worker exchanges exactly floor(n/threads) messages — one per
+	// guaranteed-owned row — so sends and receives always balance.
+	right := arch.ThreadID((idx + 1) % threads)
+	left := arch.ThreadID((idx - 1 + threads) % threads)
+	rounds := n / threads
+	ping := []byte{byte(idx)}
+	sent := 0
+
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				av := t.LoadF64(a + arch.Addr((i*n+k)*8))
+				bv := t.LoadF64(b + arch.Addr((k*n+j)*8))
+				acc += av * bv
+			}
+			t.Compute(coremodel.FP, 2*n)
+			t.StoreF64(c+arch.Addr((i*n+j)*8), acc)
+		}
+		t.Branch(true)
+		// Neighbour synchronization after each row.
+		if threads > 1 && sent < rounds {
+			t.Send(right, ping)
+			t.RecvFrom(left)
+			sent++
+		}
+	}
+}
+
+func nativeMatmul(p Params) float64 {
+	n := p.Scale
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	g := lcg(1001)
+	for i := range a {
+		a[i] = g.f64()
+		b[i] = g.f64()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	sum := 0.0
+	for i := range c {
+		sum += c[i]
+	}
+	return sum
+}

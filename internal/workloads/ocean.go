@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// ocean implements the SPLASH-2 Ocean current simulation reduced to its
+// communication skeleton: red-black Gauss-Seidel relaxation of a 2-D grid
+// with one barrier per color per iteration. Neighbour reads across band
+// boundaries produce true sharing between adjacent owners.
+//
+//   - ocean_cont: padded rows, contiguous bands per worker (the
+//     "contiguous partitions" allocation);
+//   - ocean_non_cont: packed rows, interleaved row ownership — every row
+//     boundary is an ownership boundary, maximizing sharing misses.
+//
+// Scale is the interior grid dimension; the grid is (Scale+2)² with fixed
+// boundary values.
+func init() {
+	register(Workload{
+		Name:         "ocean_cont",
+		Description:  "red-black stencil, contiguous padded bands",
+		DefaultScale: 64,
+		Build:        func(p Params) core.Program { return buildOcean(p, true) },
+		Native:       nativeOcean,
+	})
+	register(Workload{
+		Name:         "ocean_non_cont",
+		Description:  "red-black stencil, packed interleaved rows",
+		DefaultScale: 64,
+		Build:        func(p Params) core.Program { return buildOcean(p, false) },
+		Native:       nativeOcean,
+	})
+}
+
+const (
+	oceanGrid = iota
+	oceanN
+	oceanStride
+	oceanThreads
+	oceanCont
+	oceanIters
+	oceanWords
+)
+
+// oceanSteps is the number of relaxation iterations.
+const oceanSteps = 4
+
+func buildOcean(p Params, contiguous bool) core.Program {
+	work := oceanWork
+	name := "ocean_non_cont"
+	if contiguous {
+		name = "ocean_cont"
+	}
+	main := func(t *core.Thread, arg uint64) {
+		n := p.Scale
+		dim := n + 2
+		stride := luStrideBytes(dim, contiguous)
+		block := t.Malloc(oceanWords * 8)
+		grid := t.Malloc(arch.Addr(dim * stride))
+		g := lcg(4242)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				v := 0.0
+				if i == 0 || j == 0 || i == dim-1 || j == dim-1 {
+					v = 1.0 // boundary condition
+				} else {
+					v = g.f64()
+				}
+				t.StoreF64(grid+arch.Addr(i*stride+j*8), v)
+			}
+		}
+		t.Store64(block+oceanGrid*8, uint64(grid))
+		t.Store64(block+oceanN*8, uint64(n))
+		t.Store64(block+oceanStride*8, uint64(stride))
+		t.Store64(block+oceanThreads*8, uint64(p.Threads))
+		cont := uint64(0)
+		if contiguous {
+			cont = 1
+		}
+		t.Store64(block+oceanCont*8, cont)
+		t.Store64(block+oceanIters*8, oceanSteps)
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				sum += t.LoadF64(grid + arch.Addr(i*stride+j*8))
+			}
+			t.Compute(coremodel.FP, dim)
+		}
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: name, Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+func oceanWork(t *core.Thread, base arch.Addr, idx int) {
+	grid := arch.Addr(t.Load64(base + oceanGrid*8))
+	n := int(t.Load64(base + oceanN*8))
+	stride := int(t.Load64(base + oceanStride*8))
+	threads := int(t.Load64(base + oceanThreads*8))
+	contiguous := t.Load64(base+oceanCont*8) == 1
+	iters := int(t.Load64(base + oceanIters*8))
+	bar := base + 1
+
+	relax := func(i, j int) {
+		up := t.LoadF64(grid + arch.Addr((i-1)*stride+j*8))
+		down := t.LoadF64(grid + arch.Addr((i+1)*stride+j*8))
+		left := t.LoadF64(grid + arch.Addr(i*stride+(j-1)*8))
+		right := t.LoadF64(grid + arch.Addr(i*stride+(j+1)*8))
+		t.StoreF64(grid+arch.Addr(i*stride+j*8), 0.25*(up+down+left+right))
+		t.Compute(coremodel.FP, 4)
+	}
+	for it := 0; it < iters; it++ {
+		for color := 0; color < 2; color++ {
+			for i := 1; i <= n; i++ {
+				if !luOwns(i-1, n, threads, idx, contiguous) {
+					continue
+				}
+				for j := 1; j <= n; j++ {
+					if (i+j)%2 == color {
+						relax(i, j)
+					}
+				}
+				t.Branch(true)
+			}
+			t.BarrierWait(bar+arch.Addr(it*2+color), threads)
+		}
+	}
+}
+
+func nativeOcean(p Params) float64 {
+	n := p.Scale
+	dim := n + 2
+	u := make([][]float64, dim)
+	g := lcg(4242)
+	for i := range u {
+		u[i] = make([]float64, dim)
+		for j := range u[i] {
+			if i == 0 || j == 0 || i == dim-1 || j == dim-1 {
+				u[i][j] = 1.0
+			} else {
+				u[i][j] = g.f64()
+			}
+		}
+	}
+	for it := 0; it < oceanSteps; it++ {
+		for color := 0; color < 2; color++ {
+			for i := 1; i <= n; i++ {
+				for j := 1; j <= n; j++ {
+					if (i+j)%2 == color {
+						u[i][j] = 0.25 * (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1])
+					}
+				}
+			}
+		}
+	}
+	sum := 0.0
+	for i := range u {
+		for j := range u[i] {
+			sum += u[i][j]
+		}
+	}
+	return sum
+}

@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// radix implements the SPLASH-2 radix sort: per-worker digit histograms, a
+// prefix-sum rank phase, and a permutation (scatter) phase, repeated per
+// digit. The scatter interleaves writes from all workers into one global
+// destination array — the access pattern behind radix's false-sharing
+// spike at 256-byte lines in Figure 8 (the write interleaving granularity
+// drops below the line size).
+//
+// Scale is log2 of the key count; keys are 16-bit, sorted in two 8-bit
+// digit passes.
+func init() {
+	register(Workload{
+		Name:         "radix",
+		Description:  "parallel radix sort; interleaved scatter writes",
+		DefaultScale: 12,
+		Build:        buildRadix,
+		Native:       nativeRadix,
+	})
+}
+
+const (
+	radixSrc = iota // ping buffer
+	radixDst        // pong buffer
+	radixHist
+	radixN
+	radixThreads
+	radixWords
+)
+
+const (
+	radixBits    = 8
+	radixBuckets = 1 << radixBits
+	radixPasses  = 2 // 16-bit keys
+)
+
+func buildRadix(p Params) core.Program {
+	work := radixWork
+	main := func(t *core.Thread, arg uint64) {
+		n := 1 << p.Scale
+		block := t.Malloc(radixWords * 8)
+		src := t.Malloc(arch.Addr(n * 8))
+		dst := t.Malloc(arch.Addr(n * 8))
+		hist := t.Malloc(arch.Addr(p.Threads * radixBuckets * 8))
+		g := lcg(99)
+		for i := 0; i < n; i++ {
+			t.Store64(src+arch.Addr(i*8), g.next()&0xFFFF)
+		}
+		t.Store64(block+radixSrc*8, uint64(src))
+		t.Store64(block+radixDst*8, uint64(dst))
+		t.Store64(block+radixHist*8, uint64(hist))
+		t.Store64(block+radixN*8, uint64(n))
+		t.Store64(block+radixThreads*8, uint64(p.Threads))
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		// After an even number of passes the result is back in src.
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(t.Load64(src+arch.Addr(i*8))) * float64(i+1)
+			t.Compute(coremodel.FP, 2)
+		}
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: "radix", Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+func radixWork(t *core.Thread, base arch.Addr, idx int) {
+	srcA := arch.Addr(t.Load64(base + radixSrc*8))
+	dstA := arch.Addr(t.Load64(base + radixDst*8))
+	hist := arch.Addr(t.Load64(base + radixHist*8))
+	n := int(t.Load64(base + radixN*8))
+	threads := int(t.Load64(base + radixThreads*8))
+	bar := base + 1
+	lo, hi := span(n, threads, idx)
+	myHist := hist + arch.Addr(idx*radixBuckets*8)
+
+	src, dst := srcA, dstA
+	for pass := 0; pass < radixPasses; pass++ {
+		shift := uint(pass * radixBits)
+		// Histogram own keys.
+		for b := 0; b < radixBuckets; b++ {
+			t.Store64(myHist+arch.Addr(b*8), 0)
+		}
+		for i := lo; i < hi; i++ {
+			k := t.Load64(src + arch.Addr(i*8))
+			d := (k >> shift) & (radixBuckets - 1)
+			c := t.Load64(myHist + arch.Addr(d*8))
+			t.Store64(myHist+arch.Addr(d*8), c+1)
+			t.Compute(coremodel.Arith, 3)
+		}
+		t.BarrierWait(bar+arch.Addr(pass*3), threads)
+		// Worker 0 turns histograms into per-(worker,digit) start ranks.
+		if idx == 0 {
+			off := uint64(0)
+			for d := 0; d < radixBuckets; d++ {
+				for w := 0; w < threads; w++ {
+					slot := hist + arch.Addr((w*radixBuckets+d)*8)
+					c := t.Load64(slot)
+					t.Store64(slot, off)
+					off += c
+					t.Compute(coremodel.Arith, 2)
+				}
+			}
+		}
+		t.BarrierWait(bar+arch.Addr(pass*3+1), threads)
+		// Scatter own keys to their ranked positions (stable).
+		for i := lo; i < hi; i++ {
+			k := t.Load64(src + arch.Addr(i*8))
+			d := (k >> shift) & (radixBuckets - 1)
+			slot := myHist + arch.Addr(d*8)
+			pos := t.Load64(slot)
+			t.Store64(slot, pos+1)
+			t.Store64(dst+arch.Addr(int(pos)*8), k)
+			t.Compute(coremodel.Arith, 4)
+		}
+		t.BarrierWait(bar+arch.Addr(pass*3+2), threads)
+		src, dst = dst, src
+	}
+}
+
+func nativeRadix(p Params) float64 {
+	n := 1 << p.Scale
+	src := make([]uint64, n)
+	dst := make([]uint64, n)
+	g := lcg(99)
+	for i := range src {
+		src[i] = g.next() & 0xFFFF
+	}
+	for pass := 0; pass < radixPasses; pass++ {
+		shift := uint(pass * radixBits)
+		var counts [radixBuckets]uint64
+		for _, k := range src {
+			counts[(k>>shift)&(radixBuckets-1)]++
+		}
+		var offs [radixBuckets]uint64
+		off := uint64(0)
+		for d := 0; d < radixBuckets; d++ {
+			offs[d] = off
+			off += counts[d]
+		}
+		for _, k := range src {
+			d := (k >> shift) & (radixBuckets - 1)
+			dst[offs[d]] = k
+			offs[d]++
+		}
+		src, dst = dst, src
+	}
+	sum := 0.0
+	for i, k := range src {
+		sum += float64(k) * float64(i+1)
+	}
+	return sum
+}

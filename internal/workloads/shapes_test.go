@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// These tests pin the cross-workload behavioural claims the paper's
+// evaluation rests on (§4.4, Figure 8): if a kernel rewrite ever destroys
+// a sharing pattern, the claim fails here rather than silently skewing an
+// experiment.
+
+// fig8Cfg mirrors the Figure 8 memory system: no L1s, one L2 per tile.
+func fig8Cfg(tiles, lineSize int) config.Config {
+	cfg := config.Default()
+	cfg.Tiles = tiles
+	cfg.L1I = config.CacheConfig{Enabled: false}
+	cfg.L1D = config.CacheConfig{Enabled: false}
+	cfg.L2 = config.CacheConfig{Enabled: true, Size: 64 << 10, Assoc: 4, LineSize: lineSize, HitLatency: 8}
+	return cfg
+}
+
+func totalsFor(t *testing.T, name string, threads int, cfg config.Config) stats.Totals {
+	return totalsAt(t, name, threads, smallScale[name], cfg)
+}
+
+// totalsAt runs a workload at an explicit scale (some shape claims need a
+// problem size that does not align with cache-line boundaries).
+func totalsAt(t *testing.T, name string, threads, scale int, cfg config.Config) stats.Totals {
+	t.Helper()
+	w, ok := Get(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	cl, err := core.NewCluster(cfg, w.Build(Params{Threads: threads, Scale: scale}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs.Totals
+}
+
+func TestLuContiguousBeatsNonContiguous(t *testing.T) {
+	// The contiguous allocation exists to avoid false sharing; at 64-byte
+	// lines lu_cont must show none while lu_non_cont shows some.
+	// n=20 gives 160-byte packed rows, deliberately not a line multiple,
+	// so adjacent owners' rows share 64-byte lines in the non-contiguous
+	// layout. (At n=24 the packed stride is 192 = 3 lines and even the
+	// packed layout is accidentally aligned.)
+	cont := totalsAt(t, "lu_cont", 4, 20, fig8Cfg(4, 64))
+	nonc := totalsAt(t, "lu_non_cont", 4, 20, fig8Cfg(4, 64))
+	if cont.MissBy[stats.MissFalseSharing] > 0 {
+		t.Fatalf("lu_cont has %d false-sharing misses at 64B lines (padded rows should prevent them)",
+			cont.MissBy[stats.MissFalseSharing])
+	}
+	if nonc.MissBy[stats.MissFalseSharing] == 0 {
+		t.Fatal("lu_non_cont shows no false sharing; packed interleaved rows should")
+	}
+}
+
+func TestRadixFalseSharingGrowsWithLineSize(t *testing.T) {
+	// The Figure 8 radix claim: false sharing becomes significant once
+	// the line size exceeds the scatter's write-interleaving granularity.
+	// At 2048 keys over 4 workers each (worker, digit) run is ~16 bytes,
+	// so the knee sits at the 32->64 byte transition here (the paper's
+	// 32-thread simsmall run puts it at 256 bytes; the knee position is
+	// keys/threads-dependent, the existence of the knee is the claim).
+	small := totalsAt(t, "radix", 4, 11, fig8Cfg(4, 32))
+	big := totalsAt(t, "radix", 4, 11, fig8Cfg(4, 64))
+	rateSmall := float64(small.MissBy[stats.MissFalseSharing]) / float64(small.Loads+small.Stores)
+	rateBig := float64(big.MissBy[stats.MissFalseSharing]) / float64(big.Loads+big.Stores)
+	if rateBig <= rateSmall {
+		t.Fatalf("radix false-sharing rate did not grow with line size: %.4f%% -> %.4f%%",
+			100*rateSmall, 100*rateBig)
+	}
+}
+
+func TestPerfectLocalityMissRateDropsWithLineSize(t *testing.T) {
+	// fft and lu_cont have perfect spatial locality: doubling the line
+	// size should roughly halve the miss rate (paper: "drop linearly").
+	for _, name := range []string{"fft", "lu_cont"} {
+		at32 := totalsFor(t, name, 4, fig8Cfg(4, 32))
+		at128 := totalsFor(t, name, 4, fig8Cfg(4, 128))
+		r32 := at32.MissRate()
+		r128 := at128.MissRate()
+		if r128 >= r32 {
+			t.Fatalf("%s: miss rate did not drop with line size (%.4f -> %.4f)", name, r32, r128)
+		}
+		// 4x larger lines should cut the rate by at least 2x for these.
+		if r128 > r32/2 {
+			t.Fatalf("%s: drop too shallow for perfect locality: %.4f -> %.4f", name, r32, r128)
+		}
+	}
+}
+
+func TestWaterSpatialSharesLessThanNsquared(t *testing.T) {
+	// The cell decomposition reads only neighbouring molecules; the n²
+	// kernel reads everyone. Sharing misses per owned molecule must be
+	// lower for the spatial version.
+	cfg := fig8Cfg(4, 64)
+	n2 := totalsFor(t, "water_nsquared", 4, cfg)
+	sp := totalsFor(t, "water_spatial", 4, cfg)
+	shareN2 := float64(n2.MissBy[stats.MissTrueSharing]) / float64(n2.Loads)
+	shareSp := float64(sp.MissBy[stats.MissTrueSharing]) / float64(sp.Loads)
+	if shareSp >= shareN2 {
+		t.Fatalf("spatial true-sharing rate (%.5f) not below n^2 (%.5f)", shareSp, shareN2)
+	}
+}
+
+func TestFmmComputeDominates(t *testing.T) {
+	// fmm is the paper's best-scaling benchmark because of its
+	// compute-to-communication ratio; pin that its instruction count per
+	// L2 miss is the highest of a representative set.
+	cfg := fig8Cfg(4, 64)
+	ratios := map[string]float64{}
+	for _, name := range []string{"fmm", "radix", "ocean_cont"} {
+		tot := totalsFor(t, name, 4, cfg)
+		misses := float64(tot.L2Misses)
+		if misses == 0 {
+			misses = 1
+		}
+		ratios[name] = float64(tot.Instructions) / misses
+	}
+	if ratios["fmm"] <= ratios["radix"] || ratios["fmm"] <= ratios["ocean_cont"] {
+		t.Fatalf("fmm not compute-dominant: %v", ratios)
+	}
+}
+
+func TestBlackscholesGlobalsSuffersUnderLimitedDirectory(t *testing.T) {
+	// The Figure 9 mechanism: with fewer pointers than sharers, the
+	// read-only globals line keeps bouncing — invalidation count must be
+	// far higher under Dir_1NB than full-map.
+	full := fig8Cfg(8, 64)
+	limited := fig8Cfg(8, 64)
+	limited.Coherence = config.CoherenceConfig{Kind: config.LimitedNB, DirPointers: 1, DirLatency: 10}
+	invFull := totalsFor(t, "blackscholes", 8, full).InvSent
+	invLim := totalsFor(t, "blackscholes", 8, limited).InvSent
+	if invLim < invFull+100 {
+		t.Fatalf("Dir_1NB invalidations (%d) not clearly above full-map (%d)", invLim, invFull)
+	}
+}

@@ -1,0 +1,302 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/coremodel"
+)
+
+// water implements the communication skeletons of the two SPLASH-2 water
+// codes. Molecules are 64-byte records (position and velocity) owned by
+// one worker each; owners write their own records and read others' —
+// the ownership pattern whose true-sharing misses fall and false-sharing
+// misses rise with line size in Figure 8 (larger lines cover a whole
+// record, but pack neighbouring owners' records together).
+//
+//   - water_nsquared: every molecule interacts with every other (O(m²)
+//     force phase, all-to-all read sharing);
+//   - water_spatial: molecules are binned into a uniform cell grid built
+//     by the main thread, and interact only within neighbouring cells —
+//     far less remote traffic for the same physics.
+//
+// Scale is the molecule count.
+func init() {
+	register(Workload{
+		Name:         "water_nsquared",
+		Description:  "O(m^2) molecular dynamics; all-to-all position reads",
+		DefaultScale: 96,
+		Build:        func(p Params) core.Program { return buildWater(p, false) },
+		Native:       func(p Params) float64 { return nativeWater(p, false) },
+	})
+	register(Workload{
+		Name:         "water_spatial",
+		Description:  "cell-list molecular dynamics; neighbour-only reads",
+		DefaultScale: 128,
+		Build:        func(p Params) core.Program { return buildWater(p, true) },
+		Native:       func(p Params) float64 { return nativeWater(p, true) },
+	})
+}
+
+const (
+	waterMol = iota // molecule records base
+	waterM          // molecule count
+	waterThreads
+	waterCells    // cell index array base (spatial only)
+	waterCellDim  // cells per axis (spatial only)
+	waterCellList // per-cell molecule lists base (spatial only)
+	waterWords
+)
+
+// Molecule record layout (64 bytes): x, y, z, vx, vy, vz, 2 words pad.
+const molStride = 64
+
+// waterSteps is the number of time steps.
+const waterSteps = 2
+
+// waterDT is the integration step.
+const waterDT = 0.001
+
+// waterForce computes the pairwise interaction (a softened inverse-square
+// attraction; the skeleton of the physics, not the SST2 potential).
+func waterForce(dx, dy, dz float64) (fx, fy, fz float64) {
+	r2 := dx*dx + dy*dy + dz*dz + 0.01
+	inv := 1 / (r2 * math.Sqrt(r2))
+	return dx * inv, dy * inv, dz * inv
+}
+
+func buildWater(p Params, spatial bool) core.Program {
+	work := waterWork
+	name := "water_nsquared"
+	if spatial {
+		name = "water_spatial"
+	}
+	main := func(t *core.Thread, arg uint64) {
+		m := p.Scale
+		block := t.Malloc(waterWords * 8)
+		mol := t.Malloc(arch.Addr(m * molStride))
+		g := lcg(31337)
+		for i := 0; i < m; i++ {
+			rec := mol + arch.Addr(i*molStride)
+			t.StoreF64(rec+0, g.f64())
+			t.StoreF64(rec+8, g.f64())
+			t.StoreF64(rec+16, g.f64())
+			t.StoreF64(rec+24, 0)
+			t.StoreF64(rec+32, 0)
+			t.StoreF64(rec+40, 0)
+		}
+		t.Store64(block+waterMol*8, uint64(mol))
+		t.Store64(block+waterM*8, uint64(m))
+		t.Store64(block+waterThreads*8, uint64(p.Threads))
+		if spatial {
+			// Bin molecules into a cellDim³ grid; each cell's member list
+			// is a fixed-capacity slot array built sequentially by main.
+			cellDim := 3
+			cells := cellDim * cellDim * cellDim
+			capPer := m // worst case capacity per cell
+			counts := t.Malloc(arch.Addr(cells * 8))
+			lists := t.Malloc(arch.Addr(cells * capPer * 8))
+			for c := 0; c < cells; c++ {
+				t.Store64(counts+arch.Addr(c*8), 0)
+			}
+			for i := 0; i < m; i++ {
+				rec := mol + arch.Addr(i*molStride)
+				x := t.LoadF64(rec + 0)
+				y := t.LoadF64(rec + 8)
+				z := t.LoadF64(rec + 16)
+				c := cellOf(x, y, z, cellDim)
+				t.Compute(coremodel.FP, 6)
+				cnt := t.Load64(counts + arch.Addr(c*8))
+				t.Store64(lists+arch.Addr((c*capPer+int(cnt))*8), uint64(i))
+				t.Store64(counts+arch.Addr(c*8), cnt+1)
+			}
+			t.Store64(block+waterCells*8, uint64(counts))
+			t.Store64(block+waterCellDim*8, uint64(cellDim))
+			t.Store64(block+waterCellList*8, uint64(lists))
+		} else {
+			t.Store64(block+waterCellDim*8, 0)
+		}
+		runWorkers(t, 1, block, p.Threads, work)
+		markROI(t, p)
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			rec := mol + arch.Addr(i*molStride)
+			sum += t.LoadF64(rec+0) + t.LoadF64(rec+8) + t.LoadF64(rec+16)
+			t.Compute(coremodel.FP, 3)
+		}
+		t.StoreF64(p.result(), sum)
+	}
+	return core.Program{Name: name, Funcs: []core.ThreadFunc{main, workerEntry(work)}}
+}
+
+func cellOf(x, y, z float64, dim int) int {
+	cx := int(x * float64(dim))
+	cy := int(y * float64(dim))
+	cz := int(z * float64(dim))
+	clampDim := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= dim {
+			return dim - 1
+		}
+		return v
+	}
+	return (clampDim(cx)*dim+clampDim(cy))*dim + clampDim(cz)
+}
+
+func waterWork(t *core.Thread, base arch.Addr, idx int) {
+	mol := arch.Addr(t.Load64(base + waterMol*8))
+	m := int(t.Load64(base + waterM*8))
+	threads := int(t.Load64(base + waterThreads*8))
+	cellDim := int(t.Load64(base + waterCellDim*8))
+	bar := base + 1
+	lo, hi := span(m, threads, idx)
+
+	loadPos := func(i int) (x, y, z float64) {
+		rec := mol + arch.Addr(i*molStride)
+		return t.LoadF64(rec + 0), t.LoadF64(rec + 8), t.LoadF64(rec + 16)
+	}
+
+	for step := 0; step < waterSteps; step++ {
+		// Force phase: forces on owned molecules accumulate in registers.
+		fx := make([]float64, hi-lo)
+		fy := make([]float64, hi-lo)
+		fz := make([]float64, hi-lo)
+		if cellDim == 0 {
+			for i := lo; i < hi; i++ {
+				xi, yi, zi := loadPos(i)
+				for j := 0; j < m; j++ {
+					if j == i {
+						continue
+					}
+					xj, yj, zj := loadPos(j)
+					dx, dy, dz := waterForce(xj-xi, yj-yi, zj-zi)
+					fx[i-lo] += dx
+					fy[i-lo] += dy
+					fz[i-lo] += dz
+					t.Compute(coremodel.FP, 12)
+				}
+				t.Branch(true)
+			}
+		} else {
+			counts := arch.Addr(t.Load64(base + waterCells*8))
+			lists := arch.Addr(t.Load64(base + waterCellList*8))
+			capPer := m
+			for i := lo; i < hi; i++ {
+				xi, yi, zi := loadPos(i)
+				ci := cellOf(xi, yi, zi, cellDim)
+				cx, cy, cz := ci/(cellDim*cellDim), (ci/cellDim)%cellDim, ci%cellDim
+				for ddx := -1; ddx <= 1; ddx++ {
+					for ddy := -1; ddy <= 1; ddy++ {
+						for ddz := -1; ddz <= 1; ddz++ {
+							nx, ny, nz := cx+ddx, cy+ddy, cz+ddz
+							if nx < 0 || ny < 0 || nz < 0 || nx >= cellDim || ny >= cellDim || nz >= cellDim {
+								continue
+							}
+							c := (nx*cellDim+ny)*cellDim + nz
+							cnt := int(t.Load64(counts + arch.Addr(c*8)))
+							for s := 0; s < cnt; s++ {
+								j := int(t.Load64(lists + arch.Addr((c*capPer+s)*8)))
+								if j == i {
+									continue
+								}
+								xj, yj, zj := loadPos(j)
+								dx, dy, dz := waterForce(xj-xi, yj-yi, zj-zi)
+								fx[i-lo] += dx
+								fy[i-lo] += dy
+								fz[i-lo] += dz
+								t.Compute(coremodel.FP, 12)
+							}
+						}
+					}
+				}
+				t.Branch(true)
+			}
+		}
+		t.BarrierWait(bar+arch.Addr(step*2), threads)
+		// Update phase: integrate owned molecules.
+		for i := lo; i < hi; i++ {
+			rec := mol + arch.Addr(i*molStride)
+			vx := t.LoadF64(rec+24) + fx[i-lo]*waterDT
+			vy := t.LoadF64(rec+32) + fy[i-lo]*waterDT
+			vz := t.LoadF64(rec+40) + fz[i-lo]*waterDT
+			t.StoreF64(rec+24, vx)
+			t.StoreF64(rec+32, vy)
+			t.StoreF64(rec+40, vz)
+			t.StoreF64(rec+0, t.LoadF64(rec+0)+vx*waterDT)
+			t.StoreF64(rec+8, t.LoadF64(rec+8)+vy*waterDT)
+			t.StoreF64(rec+16, t.LoadF64(rec+16)+vz*waterDT)
+			t.Compute(coremodel.FP, 12)
+		}
+		t.BarrierWait(bar+arch.Addr(step*2+1), threads)
+	}
+}
+
+func nativeWater(p Params, spatial bool) float64 {
+	m := p.Scale
+	pos := make([][3]float64, m)
+	vel := make([][3]float64, m)
+	g := lcg(31337)
+	for i := range pos {
+		pos[i] = [3]float64{g.f64(), g.f64(), g.f64()}
+	}
+	cellDim := 0
+	var lists [][]int
+	if spatial {
+		cellDim = 3
+		lists = make([][]int, cellDim*cellDim*cellDim)
+		for i := range pos {
+			c := cellOf(pos[i][0], pos[i][1], pos[i][2], cellDim)
+			lists[c] = append(lists[c], i)
+		}
+	}
+	for step := 0; step < waterSteps; step++ {
+		force := make([][3]float64, m)
+		for i := 0; i < m; i++ {
+			interact := func(j int) {
+				dx, dy, dz := waterForce(pos[j][0]-pos[i][0], pos[j][1]-pos[i][1], pos[j][2]-pos[i][2])
+				force[i][0] += dx
+				force[i][1] += dy
+				force[i][2] += dz
+			}
+			if !spatial {
+				for j := 0; j < m; j++ {
+					if j != i {
+						interact(j)
+					}
+				}
+			} else {
+				ci := cellOf(pos[i][0], pos[i][1], pos[i][2], cellDim)
+				cx, cy, cz := ci/(cellDim*cellDim), (ci/cellDim)%cellDim, ci%cellDim
+				for ddx := -1; ddx <= 1; ddx++ {
+					for ddy := -1; ddy <= 1; ddy++ {
+						for ddz := -1; ddz <= 1; ddz++ {
+							nx, ny, nz := cx+ddx, cy+ddy, cz+ddz
+							if nx < 0 || ny < 0 || nz < 0 || nx >= cellDim || ny >= cellDim || nz >= cellDim {
+								continue
+							}
+							for _, j := range lists[(nx*cellDim+ny)*cellDim+nz] {
+								if j != i {
+									interact(j)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			for d := 0; d < 3; d++ {
+				vel[i][d] += force[i][d] * waterDT
+				pos[i][d] += vel[i][d] * waterDT
+			}
+		}
+	}
+	sum := 0.0
+	for i := range pos {
+		sum += pos[i][0] + pos[i][1] + pos[i][2]
+	}
+	return sum
+}

@@ -1,0 +1,197 @@
+// Package workloads re-implements the benchmarks of the paper's evaluation
+// against the Graphite thread API: ten SPLASH-2 kernels (§4.2, §4.3, §4.4),
+// the 1024-thread matrix-multiply of Figure 5, and PARSEC blackscholes
+// (Figure 9). The kernels reproduce the originals' algorithmic structure,
+// data layout, sharing patterns, and compute-to-communication ratios —
+// the properties the evaluation actually depends on — rather than their
+// binary instruction streams (see DESIGN.md, substitutions).
+//
+// Every workload has a Native variant: the same algorithm on plain Go
+// slices, used both as the slowdown baseline of Table 2 and as a
+// functional oracle — the simulated run stores a checksum into simulated
+// memory, and tests compare it with the native checksum.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// DefaultResultAddr is where workload mains store their checksum (the
+// base of the static data segment in the default configuration).
+const DefaultResultAddr arch.Addr = 0x1_0000
+
+// Params configures one workload instance.
+type Params struct {
+	// Threads is the number of worker threads, including the main thread
+	// as worker 0. It must be at least 1 and at most the target tiles.
+	Threads int
+	// Scale is the problem-size knob; its meaning is workload-specific
+	// (array length exponent, matrix dimension, particle count, ...).
+	Scale int
+	// ResultAddr is where the checksum is stored (DefaultResultAddr if 0).
+	ResultAddr arch.Addr
+}
+
+func (p Params) result() arch.Addr {
+	if p.ResultAddr == 0 {
+		return DefaultResultAddr
+	}
+	return p.ResultAddr
+}
+
+// ROIAddr is where a workload's main thread records the simulated time at
+// which its parallel region of interest ended: right after the final
+// join, before the sequential checksum epilogue. Experiments that report
+// simulated application run-time read this (standard SPLASH/PARSEC
+// methodology measures the parallel region).
+func (p Params) ROIAddr() arch.Addr { return p.result() + 8 }
+
+// markROI records the region-of-interest end time. Every workload main
+// calls it immediately after its workers are joined.
+func markROI(t *core.Thread, p Params) {
+	t.Store64(p.ROIAddr(), uint64(t.Now()))
+}
+
+// Workload is one registered benchmark.
+type Workload struct {
+	// Name is the registry key (matches the paper's naming).
+	Name string
+	// Description summarizes the kernel and its sharing pattern.
+	Description string
+	// DefaultScale is a sensible Scale for experiments.
+	DefaultScale int
+	// Build constructs the simulated program.
+	Build func(p Params) core.Program
+	// Native runs the same computation natively, returning its checksum.
+	Native func(p Params) float64
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// Get looks a workload up by name.
+func Get(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SplashNames returns the ten SPLASH-2 kernels of Table 2, in the paper's
+// order.
+func SplashNames() []string {
+	return []string{
+		"cholesky", "fft", "fmm", "lu_cont", "lu_non_cont",
+		"ocean_cont", "ocean_non_cont", "radix",
+		"water_nsquared", "water_spatial",
+	}
+}
+
+// Close reports whether two checksums agree within the tolerance expected
+// from reordered parallel floating-point reductions.
+func Close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// pack encodes a parameter-block address and worker index into a spawn
+// argument. Addresses fit in 48 bits; indexes in 16.
+func pack(base arch.Addr, idx int) uint64 {
+	return uint64(base) | uint64(idx)<<48
+}
+
+// unpack decodes a spawn argument.
+func unpack(arg uint64) (arch.Addr, int) {
+	return arch.Addr(arg & 0xFFFF_FFFF_FFFF), int(arg >> 48)
+}
+
+// workFunc is the body shared by the main thread (as worker 0) and
+// spawned workers.
+type workFunc func(t *core.Thread, base arch.Addr, idx int)
+
+// runWorkers executes work on Threads workers: the calling main thread is
+// worker 0; the rest are spawned on free tiles and joined before return.
+func runWorkers(t *core.Thread, fnIdx int, base arch.Addr, threads int, work workFunc) {
+	tids := make([]arch.ThreadID, 0, threads-1)
+	for i := 1; i < threads; i++ {
+		tid := t.Spawn(fnIdx, pack(base, i))
+		if tid == arch.InvalidThread {
+			panic(fmt.Sprintf("workloads: no free tile for worker %d", i))
+		}
+		tids = append(tids, tid)
+	}
+	work(t, base, 0)
+	for _, tid := range tids {
+		t.Join(tid)
+	}
+}
+
+// workerEntry adapts a workFunc into a spawnable ThreadFunc.
+func workerEntry(work workFunc) core.ThreadFunc {
+	return func(t *core.Thread, arg uint64) {
+		base, idx := unpack(arg)
+		work(t, base, idx)
+	}
+}
+
+// span splits n items across threads, returning worker idx's half-open
+// range. Remainders go to the low-numbered workers.
+func span(n, threads, idx int) (lo, hi int) {
+	per := n / threads
+	rem := n % threads
+	lo = idx*per + min(idx, rem)
+	hi = lo + per
+	if idx < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// lcg is the deterministic generator used to initialize workload data,
+// identical in simulated and native variants.
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+// f64 returns a float in [0, 1).
+func (g *lcg) f64() float64 {
+	return float64(g.next()>>11) / (1 << 53)
+}
+
+// intn returns an int in [0, n).
+func (g *lcg) intn(n int) int {
+	return int(g.next() % uint64(n))
+}

@@ -1,0 +1,253 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// smallScale gives per-workload problem sizes small enough for unit tests.
+var smallScale = map[string]int{
+	"fft":            8, // 256 points
+	"lu_cont":        24,
+	"lu_non_cont":    24,
+	"ocean_cont":     24,
+	"ocean_non_cont": 24,
+	"radix":          9, // 512 keys
+	"cholesky":       20,
+	"fmm":            64,
+	"water_nsquared": 32,
+	"water_spatial":  48,
+	"barnes":         48,
+	"matmul":         16,
+	"blackscholes":   8, // 256 options
+}
+
+func testCfg(tiles int) config.Config {
+	cfg := config.Default()
+	cfg.Tiles = tiles
+	cfg.L1I = config.CacheConfig{Enabled: false}
+	cfg.L1D = config.CacheConfig{Enabled: true, Size: 4 << 10, Assoc: 2, LineSize: 64, HitLatency: 1}
+	cfg.L2 = config.CacheConfig{Enabled: true, Size: 64 << 10, Assoc: 4, LineSize: 64, HitLatency: 8}
+	return cfg
+}
+
+// runWorkload executes one workload under simulation and returns its
+// checksum plus run statistics.
+func runWorkload(t *testing.T, name string, threads int, cfg config.Config) (float64, *core.RunStats) {
+	t.Helper()
+	w, ok := Get(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	p := Params{Threads: threads, Scale: smallScale[name]}
+	cl, err := core.NewCluster(cfg, w.Build(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [8]byte
+	cl.Peek(p.result(), buf[:])
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), rs
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range SplashNames() {
+		if _, ok := Get(name); !ok {
+			t.Errorf("SPLASH workload %q missing", name)
+		}
+	}
+	for _, name := range []string{"matmul", "blackscholes"} {
+		if _, ok := Get(name); !ok {
+			t.Errorf("workload %q missing", name)
+		}
+	}
+	if len(Names()) < 13 {
+		t.Fatalf("only %d workloads registered", len(Names()))
+	}
+	for _, n := range Names() {
+		w, _ := Get(n)
+		if w.Build == nil || w.Native == nil || w.DefaultScale <= 0 || w.Description == "" {
+			t.Errorf("workload %q incomplete", n)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+// TestSimulationMatchesNative is the functional oracle: each workload's
+// simulated checksum (flowing entirely through the coherence protocol)
+// must match its native Go implementation.
+func TestSimulationMatchesNative(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, _ := Get(name)
+			p := Params{Threads: 4, Scale: smallScale[name]}
+			want := w.Native(p)
+			got, rs := runWorkload(t, name, 4, testCfg(8))
+			if !Close(got, want) {
+				t.Fatalf("simulated checksum %g != native %g", got, want)
+			}
+			if rs.SimulatedCycles <= 0 {
+				t.Fatal("no simulated time")
+			}
+			if rs.Totals.Loads == 0 {
+				t.Fatal("no loads recorded")
+			}
+		})
+	}
+}
+
+func TestWorkloadsSingleThread(t *testing.T) {
+	// Threads == 1 must work (no spawns at all).
+	for _, name := range []string{"fft", "radix", "matmul"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, _ := Get(name)
+			p := Params{Threads: 1, Scale: smallScale[name]}
+			want := w.Native(p)
+			got, _ := runWorkload(t, name, 1, testCfg(2))
+			if !Close(got, want) {
+				t.Fatalf("single-thread checksum %g != native %g", got, want)
+			}
+		})
+	}
+}
+
+func TestWorkloadsAcrossProcesses(t *testing.T) {
+	// Distribution across simulated host processes must not change
+	// results (the single-process illusion).
+	for _, name := range []string{"radix", "ocean_cont", "water_nsquared"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, _ := Get(name)
+			cfg := testCfg(8)
+			cfg.Processes = 4
+			p := Params{Threads: 4, Scale: smallScale[name]}
+			want := w.Native(p)
+			got, _ := runWorkload(t, name, 4, cfg)
+			if !Close(got, want) {
+				t.Fatalf("4-process checksum %g != native %g", got, want)
+			}
+		})
+	}
+}
+
+func TestWorkloadsUnderAllProtocols(t *testing.T) {
+	// Swapping the coherence protocol must never change answers — only
+	// timing. Dir_1NB is the most hostile setting (constant pointer
+	// reclaim); this is the regression test for the stale-sharer bug the
+	// limited directory once had.
+	for _, kind := range []config.CoherenceConfig{
+		{Kind: config.LimitedNB, DirPointers: 1, DirLatency: 10},
+		{Kind: config.LimitLESS, DirPointers: 2, TrapLatency: 100, DirLatency: 10},
+	} {
+		kind := kind
+		for _, name := range []string{"radix", "ocean_cont"} {
+			name := name
+			t.Run(kind.Kind.String()+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				w, _ := Get(name)
+				p := Params{Threads: 4, Scale: smallScale[name]}
+				want := w.Native(p)
+				cfg := testCfg(8)
+				cfg.Coherence = kind
+				got, _ := runWorkload(t, name, 4, cfg)
+				if !Close(got, want) {
+					t.Fatalf("%v checksum %g != native %g", kind.Kind, got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestThreadCountInvariance(t *testing.T) {
+	// The computed answer must not depend on the worker count.
+	for _, name := range []string{"lu_cont", "fft"} {
+		w, _ := Get(name)
+		base := w.Native(Params{Threads: 1, Scale: smallScale[name]})
+		for _, threads := range []int{2, 4} {
+			got, _ := runWorkload(t, name, threads, testCfg(8))
+			if !Close(got, base) {
+				t.Fatalf("%s with %d threads: %g != %g", name, threads, got, base)
+			}
+		}
+	}
+}
+
+func TestSpanPartition(t *testing.T) {
+	for _, tc := range []struct{ n, threads int }{{10, 3}, {7, 7}, {5, 8}, {100, 1}} {
+		covered := make([]bool, tc.n)
+		for w := 0; w < tc.threads; w++ {
+			lo, hi := span(tc.n, tc.threads, w)
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("n=%d threads=%d: index %d covered twice", tc.n, tc.threads, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("n=%d threads=%d: index %d uncovered", tc.n, tc.threads, i)
+			}
+		}
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	base := arch.Addr(0x1234_5678_9ABC)
+	for _, idx := range []int{0, 1, 1023} {
+		b, i := unpack(pack(base, idx))
+		if b != base || i != idx {
+			t.Fatalf("pack/unpack(%v, %d) = (%v, %d)", base, idx, b, i)
+		}
+	}
+}
+
+func TestLCGDeterminism(t *testing.T) {
+	a, b := lcg(42), lcg(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("lcg not deterministic")
+		}
+	}
+	g := lcg(7)
+	for i := 0; i < 1000; i++ {
+		v := g.f64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("f64 out of range: %v", v)
+		}
+		if n := g.intn(10); n < 0 || n >= 10 {
+			t.Fatalf("intn out of range: %d", n)
+		}
+	}
+}
+
+func TestCloseTolerance(t *testing.T) {
+	if !Close(1.0, 1.0) {
+		t.Fatal("identical values not close")
+	}
+	if !Close(1.0, 1.0+1e-12) {
+		t.Fatal("tiny reduction reordering rejected")
+	}
+	if Close(1.0, 1.001) {
+		t.Fatal("materially different values accepted")
+	}
+	if !Close(0, 0) {
+		t.Fatal("zeros not close")
+	}
+}

@@ -1,0 +1,266 @@
+// Command graphite-bench runs the fixed performance benches that track the
+// simulator's own speed (the §4 experiments at the quick preset plus two
+// end-to-end throughput kernels) and writes a machine-readable report. The
+// repo keeps one report per PR (BENCH_<n>.json) so the perf trajectory of
+// the hot path — wall time, simulated cycles, host-scaling speedup, and
+// allocations per run — is recorded from PR 1 onward.
+//
+// Usage:
+//
+//	graphite-bench -o BENCH_1.json                    # fresh report
+//	graphite-bench -o BENCH_1.json -baseline old.json # embed a baseline and deltas
+//	graphite-bench -reps 5 -label post-sharding
+//
+// Bench selection and problem sizes are fixed on purpose: a report is only
+// comparable to another report produced by the same harness version on the
+// same host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	graphite "repro"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+// Result is one bench's aggregated measurement (means over -reps runs).
+type Result struct {
+	Name string `json:"name"`
+	Reps int    `json:"reps"`
+	// WallSec is the mean wall-clock seconds of one repetition.
+	WallSec float64 `json:"wall_sec"`
+	// SimCycles is the simulated cycle count of the measured run, when the
+	// bench is a single simulation (throughput benches).
+	SimCycles int64 `json:"sim_cycles,omitempty"`
+	// Speedup is the experiment's headline scaling metric, when it has one
+	// (fig4: wall-time speedup at the highest host-core count).
+	Speedup float64 `json:"speedup,omitempty"`
+	// Slowdown is the experiment's slowdown metric (table2: median
+	// simulation slowdown versus native on one host process).
+	Slowdown float64 `json:"slowdown,omitempty"`
+	// InstrPerSec is simulated instructions per wall second (throughput).
+	InstrPerSec float64 `json:"sim_instr_per_sec,omitempty"`
+	// AllocsPerOp and BytesPerOp are heap allocations per repetition — the
+	// Go-GC pressure watchdog.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+// Delta compares one bench against the baseline report.
+type Delta struct {
+	Name      string  `json:"name"`
+	WallPct   float64 `json:"wall_pct"`   // negative = faster than baseline
+	AllocsPct float64 `json:"allocs_pct"` // negative = fewer allocations
+}
+
+// Report is the file format (schema graphite-bench/v1).
+type Report struct {
+	Schema    string    `json:"schema"`
+	Label     string    `json:"label,omitempty"`
+	Generated time.Time `json:"generated"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	HostCPUs  int       `json:"host_cpus"`
+	Preset    string    `json:"preset"`
+	Benches   []Result  `json:"benches"`
+	Baseline  *Report   `json:"baseline,omitempty"`
+	Deltas    []Delta   `json:"deltas,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_1.json", "output report path")
+		baseline = flag.String("baseline", "", "prior report to embed and diff against")
+		reps     = flag.Int("reps", 3, "repetitions per bench (means are reported)")
+		label    = flag.String("label", "", "free-form label recorded in the report")
+	)
+	flag.Parse()
+
+	// Read the baseline before spending a minute on benches, so a bad
+	// path fails immediately.
+	var base *Report
+	if *baseline != "" {
+		var err error
+		if base, err = readReport(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := &Report{
+		Schema:    "graphite-bench/v1",
+		Label:     *label,
+		Generated: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		HostCPUs:  runtime.NumCPU(),
+		Preset:    "quick",
+	}
+
+	benches := []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"fig4/host-scaling", func() (Result, error) { return benchFig4(*reps) }},
+		{"table2/slowdown", func() (Result, error) { return benchTable2(*reps) }},
+		{"fig6/sync-models", func() (Result, error) { return benchFig6(*reps) }},
+		{"throughput/radix", func() (Result, error) { return benchThroughput("radix", 8, 9, *reps) }},
+		{"throughput/matmul", func() (Result, error) { return benchThroughput("matmul", 4, 16, *reps) }},
+	}
+	for _, b := range benches {
+		fmt.Fprintf(os.Stderr, "running %s (%d reps)...\n", b.name, *reps)
+		r, err := b.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: %s: %v\n", b.name, err)
+			os.Exit(1)
+		}
+		r.Name = b.name
+		r.Reps = *reps
+		rep.Benches = append(rep.Benches, r)
+	}
+
+	if base != nil {
+		// Do not nest baselines of baselines in the output file.
+		base.Baseline, base.Deltas = nil, nil
+		rep.Baseline = base
+		rep.Deltas = diff(base.Benches, rep.Benches)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphite-bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "graphite-bench: %v\n", err)
+		os.Exit(1)
+	}
+	printSummary(rep)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure runs fn reps times and fills the wall-time and allocation fields.
+// The last repetition's Result (metrics set by fn) is kept.
+func measure(reps int, fn func() (Result, error)) (Result, error) {
+	var res Result
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		r, err := fn()
+		if err != nil {
+			return Result{}, err
+		}
+		res = r
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	res.WallSec = wall.Seconds() / float64(reps)
+	res.AllocsPerOp = (m1.Mallocs - m0.Mallocs) / uint64(reps)
+	res.BytesPerOp = (m1.TotalAlloc - m0.TotalAlloc) / uint64(reps)
+	return res, nil
+}
+
+func benchFig4(reps int) (Result, error) {
+	return measure(reps, func() (Result, error) {
+		r, err := experiments.Fig4(experiments.Quick, []string{"radix"}, []int{1, 2})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Speedup: r.Points[len(r.Points)-1].Speedup}, nil
+	})
+}
+
+func benchTable2(reps int) (Result, error) {
+	return measure(reps, func() (Result, error) {
+		r, err := experiments.Table2(experiments.Quick, []string{"fmm", "radix"})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Slowdown: r.Median1}, nil
+	})
+}
+
+func benchFig6(reps int) (Result, error) {
+	return measure(reps, func() (Result, error) {
+		r, err := experiments.Table3(experiments.Quick, []string{"radix"}, 2)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Speedup: r.MeanRunTime[graphite.LaxBarrier][0]}, nil
+	})
+}
+
+func benchThroughput(name string, tiles, scale, reps int) (Result, error) {
+	w, ok := workloads.Get(name)
+	if !ok {
+		return Result{}, fmt.Errorf("unknown workload %s", name)
+	}
+	cfg := graphite.DefaultConfig()
+	cfg.Tiles = tiles
+	cfg.L1I = graphite.CacheConfig{Enabled: false}
+	cfg.L1D = graphite.CacheConfig{Enabled: true, Size: 16 << 10, Assoc: 8, LineSize: 64, HitLatency: 1}
+	cfg.L2 = graphite.CacheConfig{Enabled: true, Size: 256 << 10, Assoc: 8, LineSize: 64, HitLatency: 8}
+	return measure(reps, func() (Result, error) {
+		rs, err := graphite.Run(cfg, w.Build(workloads.Params{Threads: tiles, Scale: scale}), 0)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			SimCycles:   int64(rs.SimulatedCycles),
+			InstrPerSec: float64(rs.Totals.Instructions) / rs.Wall.Seconds(),
+		}, nil
+	})
+}
+
+func readReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func diff(base, cur []Result) []Delta {
+	byName := make(map[string]Result, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	var ds []Delta
+	for _, r := range cur {
+		b, ok := byName[r.Name]
+		if !ok || b.WallSec == 0 || b.AllocsPerOp == 0 {
+			continue
+		}
+		ds = append(ds, Delta{
+			Name:      r.Name,
+			WallPct:   100 * (r.WallSec - b.WallSec) / b.WallSec,
+			AllocsPct: 100 * (float64(r.AllocsPerOp) - float64(b.AllocsPerOp)) / float64(b.AllocsPerOp),
+		})
+	}
+	return ds
+}
+
+func printSummary(rep *Report) {
+	fmt.Printf("%-20s %12s %14s %14s\n", "bench", "wall-sec", "allocs/op", "bytes/op")
+	for _, r := range rep.Benches {
+		fmt.Printf("%-20s %12.4f %14d %14d\n", r.Name, r.WallSec, r.AllocsPerOp, r.BytesPerOp)
+	}
+	for _, d := range rep.Deltas {
+		fmt.Printf("delta %-14s wall %+6.1f%%  allocs %+6.1f%%\n", d.Name, d.WallPct, d.AllocsPct)
+	}
+}

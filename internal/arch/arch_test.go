@@ -1,0 +1,40 @@
+package arch
+
+import "testing"
+
+func TestTileIDString(t *testing.T) {
+	cases := []struct {
+		id   TileID
+		want string
+	}{
+		{0, "tile0"},
+		{17, "tile17"},
+		{InvalidTile, "ctrl(-1)"},
+		{-2, "ctrl(-2)"},
+	}
+	for _, c := range cases {
+		if got := c.id.String(); got != c.want {
+			t.Errorf("TileID(%d).String() = %q, want %q", int32(c.id), got, c.want)
+		}
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	if InvalidTile >= 0 {
+		t.Error("InvalidTile must be negative (control endpoints share the negative space)")
+	}
+	if InvalidThread >= 0 {
+		t.Error("InvalidThread must be negative")
+	}
+	if MaxCycles != 1<<63-1 {
+		t.Errorf("MaxCycles = %d, want max int64", MaxCycles)
+	}
+}
+
+func TestCyclesAreSigned(t *testing.T) {
+	// Clock skew and queueing math relies on Cycles being signed.
+	a, b := Cycles(100), Cycles(250)
+	if diff := a - b; diff != -150 {
+		t.Errorf("cycle difference = %d, want -150", diff)
+	}
+}

@@ -195,6 +195,12 @@ type CoherenceConfig struct {
 	TrapLatency arch.Cycles
 	// DirLatency is the directory lookup cost at the home tile.
 	DirLatency arch.Cycles
+	// DirShards is the number of independently locked directory regions
+	// per home tile. Home-side protocol state is sharded by line address
+	// so that directory traffic does not contend with the tile's own core
+	// on one mutex. Must be a power of two; 0 selects the default (16).
+	// This is a host-performance knob with no effect on modeled timing.
+	DirShards int
 }
 
 // DRAMConfig configures the memory controllers.
@@ -478,6 +484,9 @@ func (c *Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("config: unknown coherence kind %d", int(c.Coherence.Kind))
+	}
+	if s := c.Coherence.DirShards; s < 0 || s&(s-1) != 0 {
+		return fmt.Errorf("config: DirShards %d is not a power of two", s)
 	}
 	if c.DRAM.TotalBandwidth <= 0 {
 		return fmt.Errorf("config: DRAM bandwidth must be positive")

@@ -42,6 +42,12 @@ type Thread struct {
 	tile *Tile
 	proc *Proc
 	sync synchro.Model
+	// scratch backs the fixed-width Load/Store helpers. A heap field
+	// rather than a stack array: the miss path retains the buffer until
+	// the reply applies it, so a local would escape and every Load64 /
+	// Store64 would allocate. The thread blocks for the duration of each
+	// access, so one buffer per thread is safe.
+	scratch [8]byte
 }
 
 // mcpTile addresses the MCP endpoint as a TileID.
@@ -105,30 +111,26 @@ func (t *Thread) Write(addr arch.Addr, buf []byte) {
 
 // Load64 loads a uint64.
 func (t *Thread) Load64(addr arch.Addr) uint64 {
-	var b [8]byte
-	t.Read(addr, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	t.Read(addr, t.scratch[:8])
+	return binary.LittleEndian.Uint64(t.scratch[:8])
 }
 
 // Store64 stores a uint64.
 func (t *Thread) Store64(addr arch.Addr, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	t.Write(addr, b[:])
+	binary.LittleEndian.PutUint64(t.scratch[:8], v)
+	t.Write(addr, t.scratch[:8])
 }
 
 // Load32 loads a uint32.
 func (t *Thread) Load32(addr arch.Addr) uint32 {
-	var b [4]byte
-	t.Read(addr, b[:])
-	return binary.LittleEndian.Uint32(b[:])
+	t.Read(addr, t.scratch[:4])
+	return binary.LittleEndian.Uint32(t.scratch[:4])
 }
 
 // Store32 stores a uint32.
 func (t *Thread) Store32(addr arch.Addr, v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	t.Write(addr, b[:])
+	binary.LittleEndian.PutUint32(t.scratch[:4], v)
+	t.Write(addr, t.scratch[:4])
 }
 
 // LoadF64 loads a float64.

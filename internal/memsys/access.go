@@ -124,7 +124,11 @@ func (n *Node) miss(line cache.LineAddr, off int, seg []byte, mask uint64, isWri
 	sendAt := now + lookup
 
 	n.seq++
-	pr := &pendingReq{
+	// Reuse the tile's single request slot and completion channel: the
+	// previous request fully completed (pending was nil) and the core
+	// thread drained reqDone before issuing this access.
+	pr := &n.reqSlot
+	*pr = pendingReq{
 		seq:     n.seq,
 		line:    line,
 		isWrite: isWrite,
@@ -132,7 +136,7 @@ func (n *Node) miss(line cache.LineAddr, off int, seg []byte, mask uint64, isWri
 		off:     off,
 		mask:    mask,
 		sentAt:  sendAt,
-		done:    make(chan replyInfo, 1),
+		done:    n.reqDone,
 	}
 	req := reqPayload{line: uint64(line), mask: mask}
 	typ := msgShReq
@@ -150,7 +154,7 @@ func (n *Node) miss(line cache.LineAddr, off int, seg []byte, mask uint64, isWri
 	}
 	n.pending = pr
 	home := n.homeOf(line)
-	n.send(typ, home, pr.seq, encodeReq(req), sendAt)
+	n.send(typ, home, pr.seq, n.coreEncReq(req), sendAt)
 	n.mu.Unlock()
 
 	info := <-pr.done
@@ -186,9 +190,9 @@ func (n *Node) FlushAll(now arch.Cycles) {
 		if v.state == cache.Modified {
 			n.outstandingWB.Add(1)
 			pay := dataPayload{line: uint64(v.addr), mask: v.mask, writer: n.tile, flags: flagHasData, data: v.data}
-			n.send(msgEvictM, home, 0, encodeData(pay), now)
+			n.send(msgEvictM, home, 0, n.coreEncData(pay), now)
 		} else {
-			n.send(msgEvictS, home, 0, encodeLine(uint64(v.addr)), now)
+			n.send(msgEvictS, home, 0, n.coreEncLine(uint64(v.addr)), now)
 		}
 	}
 	n.mu.Unlock()
@@ -239,10 +243,11 @@ func (n *Node) peekLine(addr arch.Addr, buf []byte) {
 		panic("memsys: Peek with outstanding request")
 	}
 	n.seq++
-	pr := &pendingReq{seq: n.seq, peek: true, done: make(chan replyInfo, 1)}
+	pr := &n.reqSlot
+	*pr = pendingReq{seq: n.seq, peek: true, done: n.reqDone}
 	n.pending = pr
 	home := n.homeOf(n.lineOf(addr))
-	n.send(msgPeek, home, pr.seq, encodePeek(peekPayload{addr: addr, n: uint32(len(buf))}), 0)
+	n.send(msgPeek, home, pr.seq, n.coreEncPeek(peekPayload{addr: addr, n: uint32(len(buf))}), 0)
 	n.mu.Unlock()
 	info := <-pr.done
 	copy(buf, info.data)
@@ -255,10 +260,11 @@ func (n *Node) pokeLine(addr arch.Addr, buf []byte) {
 		panic("memsys: Poke with outstanding request")
 	}
 	n.seq++
-	pr := &pendingReq{seq: n.seq, poke: true, done: make(chan replyInfo, 1)}
+	pr := &n.reqSlot
+	*pr = pendingReq{seq: n.seq, poke: true, done: n.reqDone}
 	n.pending = pr
 	home := n.homeOf(n.lineOf(addr))
-	n.send(msgPoke, home, pr.seq, encodePeek(peekPayload{addr: addr, n: uint32(len(buf)), data: buf}), 0)
+	n.send(msgPoke, home, pr.seq, n.coreEncPeek(peekPayload{addr: addr, n: uint32(len(buf)), data: buf}), 0)
 	n.mu.Unlock()
 	<-pr.done
 }

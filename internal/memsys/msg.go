@@ -13,11 +13,13 @@
 // that processes all memory-class packets addressed to the tile — both in
 // its home/directory role and in its cache-controller role. The tile's
 // core thread issues at most one outstanding request at a time (one app
-// thread per tile). A single per-tile mutex guards the cache hierarchy;
-// every cache mutation and the protocol sends it implies happen under that
-// mutex, which yields clean message orderings over the per-sender-FIFO
-// transport (see the race analysis in DESIGN.md). Home directory state is
-// touched only by the server goroutine and needs no lock.
+// thread per tile). State is split into lock domains (see Node): the core
+// domain (caches, pending-miss slot) under one mutex, and the home
+// directory sharded by line region with a mutex per shard, so directory
+// traffic does not contend with the tile's own core. The server's
+// outgoing messages are batched per destination and flushed before the
+// server blocks or wakes its core, which preserves the per-sender-FIFO
+// orderings the protocol relies on (see the race analysis in DESIGN.md).
 package memsys
 
 import (
@@ -83,8 +85,19 @@ type reqPayload struct {
 	flags uint8
 }
 
-func encodeReq(p reqPayload) []byte {
-	buf := make([]byte, 17)
+// ensureLen returns a length-n slice, reusing scratch's storage when it is
+// large enough. The encoders below take a scratch buffer because encoded
+// payloads live only until the next Send, which copies them into the wire
+// frame — each sending context can recycle one buffer for all its sends.
+func ensureLen(scratch []byte, n int) []byte {
+	if cap(scratch) < n {
+		return make([]byte, n)
+	}
+	return scratch[:n]
+}
+
+func encodeReq(scratch []byte, p reqPayload) []byte {
+	buf := ensureLen(scratch, 17)
 	binary.LittleEndian.PutUint64(buf[0:8], p.line)
 	binary.LittleEndian.PutUint64(buf[8:16], p.mask)
 	buf[16] = p.flags
@@ -112,8 +125,8 @@ type dataPayload struct {
 	data   []byte
 }
 
-func encodeData(p dataPayload) []byte {
-	buf := make([]byte, 21+len(p.data))
+func encodeData(scratch []byte, p dataPayload) []byte {
+	buf := ensureLen(scratch, 21+len(p.data))
 	binary.LittleEndian.PutUint64(buf[0:8], p.line)
 	binary.LittleEndian.PutUint64(buf[8:16], p.mask)
 	binary.LittleEndian.PutUint32(buf[16:20], uint32(int32(p.writer)))
@@ -140,8 +153,8 @@ func decodeData(b []byte) (dataPayload, error) {
 
 // ctrlPayload is the body of InvReq/WbReq/FlushReq/EvictS/EvictAck: just a
 // line address.
-func encodeLine(line uint64) []byte {
-	buf := make([]byte, 8)
+func encodeLine(scratch []byte, line uint64) []byte {
+	buf := ensureLen(scratch, 8)
 	binary.LittleEndian.PutUint64(buf, line)
 	return buf
 }
@@ -160,8 +173,8 @@ type peekPayload struct {
 	data []byte // Poke request and PeekRep carry data
 }
 
-func encodePeek(p peekPayload) []byte {
-	buf := make([]byte, 12+len(p.data))
+func encodePeek(scratch []byte, p peekPayload) []byte {
+	buf := ensureLen(scratch, 12+len(p.data))
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(p.addr))
 	binary.LittleEndian.PutUint32(buf[8:12], p.n)
 	copy(buf[12:], p.data)

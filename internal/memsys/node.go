@@ -55,6 +55,26 @@ type dirLine struct {
 	pending []network.Packet
 }
 
+// dirShard is one independently locked region of the tile's home
+// directory. Home-side protocol state is sharded by line address so that
+// directory traffic for different line regions, and above all the tile's
+// own core (which runs under Node.mu, not a shard lock), never contend on
+// a single per-tile mutex. Each shard carries its own sub-request sequence
+// counter and home-side statistics so nothing shared remains.
+type dirShard struct {
+	mu    sync.Mutex
+	lines map[cache.LineAddr]*dirLine
+	// homeSeq numbers this shard's home-side sub-requests (Inv/Wb/Flush).
+	// Replies carry it back; a per-shard counter is unambiguous because
+	// replies are matched per line and lines never change shards.
+	homeSeq uint64
+	// Home-side stat counters, aggregated by Stats().
+	dirRequests, dirTraps, invSent uint64
+}
+
+// defaultDirShards is used when Config.Coherence.DirShards is zero.
+const defaultDirShards = 16
+
 // txn is one in-flight home transaction (blocking directory: one per line).
 type txn struct {
 	homeSeq   uint64 // matches sub-request replies
@@ -76,7 +96,17 @@ type txn struct {
 	trapExtra arch.Cycles // LimitLESS software trap cycles to charge
 }
 
-// Node is one tile's memory subsystem.
+// Node is one tile's memory subsystem. Its state is split into three lock
+// domains so the hot paths do not serialize on one per-tile mutex:
+//
+//   - the core domain (mu): caches, the single pending-miss slot, and miss
+//     classification state — everything the tile's own core touches;
+//   - the home domain (shards): directory state for lines homed here,
+//     sharded by line region, each shard with its own mutex;
+//   - the DRAM controller (dramMu), shared by all home shards.
+//
+// The server goroutine takes exactly one domain lock per message, and the
+// domains never nest, so lock ordering is trivial.
 type Node struct {
 	tile arch.TileID
 	cfg  *config.Config
@@ -88,15 +118,28 @@ type Node struct {
 	l1d *cache.Cache
 	l2  *cache.Cache
 
-	// Home role, touched only by the server goroutine.
-	dir  map[cache.LineAddr]*dirLine
-	dram *dram.Controller
+	// Home role: the directory, sharded by line region. shardMask is
+	// len(shards)-1 (the count is a power of two).
+	shards    []dirShard
+	shardMask uint64
 
-	// Single outstanding core request, guarded by mu.
+	// DRAM controller, shared by all home shards.
+	dramMu sync.Mutex
+	dram   *dram.Controller
+
+	// out batches the server goroutine's outgoing protocol messages per
+	// destination; Serve flushes it before blocking and before waking the
+	// local core. Owned by the server goroutine.
+	out *network.Batch
+
+	// Single outstanding core request, guarded by mu. reqSlot and
+	// reqDone back every request: with one outstanding request per tile,
+	// the record and its completion channel are reused instead of
+	// allocated per miss.
 	pending *pendingReq
+	reqSlot pendingReq
+	reqDone chan replyInfo
 	seq     uint64
-	// homeSeq numbers home-side sub-requests (Inv/Wb/Flush), guarded by mu.
-	homeSeq uint64
 
 	// Miss classification state, guarded by mu.
 	everAccessed map[cache.LineAddr]struct{}
@@ -106,8 +149,17 @@ type Node struct {
 	outstandingWB atomic.Int64
 	wbDrained     chan struct{} // signaled when outstandingWB may be zero
 
-	// Statistics, guarded by mu except DRAM fields (server-only).
+	// Statistics, guarded by mu; home-side counters live in the shards and
+	// DRAM counters under dramMu, all aggregated by Stats().
 	st stats.Tile
+
+	// Payload scratch buffers: an encoded payload lives only until the
+	// next Send (which copies it into the wire frame), so each sending
+	// context recycles one buffer. coreScratch is guarded by mu;
+	// srvScratch and grantBuf belong to the server goroutine.
+	coreScratch []byte
+	srvScratch  []byte
+	grantBuf    []byte
 
 	lineBits uint
 	lineSize int
@@ -118,17 +170,28 @@ type Node struct {
 // NewNode builds the memory subsystem of one tile. progress feeds the DRAM
 // queue model; net must be the tile's network interface.
 func NewNode(tile arch.TileID, cfg *config.Config, net *network.Net, progress *clock.ProgressWindow) *Node {
+	nshards := cfg.Coherence.DirShards
+	if nshards == 0 {
+		nshards = defaultDirShards
+	}
 	n := &Node{
 		tile:         tile,
 		cfg:          cfg,
 		net:          net,
-		dir:          make(map[cache.LineAddr]*dirLine),
+		shards:       make([]dirShard, nshards),
+		shardMask:    uint64(nshards - 1),
 		dram:         dram.New(cfg, progress),
+		out:          net.NewBatch(),
 		everAccessed: make(map[cache.LineAddr]struct{}),
 		invalidated:  make(map[cache.LineAddr]struct{}),
 		wbDrained:    make(chan struct{}, 1),
+		reqDone:      make(chan replyInfo, 1),
 		lineSize:     cfg.LineSize(),
 		stopped:      make(chan struct{}),
+	}
+	n.grantBuf = make([]byte, n.lineSize)
+	for i := range n.shards {
+		n.shards[i].lines = make(map[cache.LineAddr]*dirLine)
 	}
 	n.st.TileID = tile
 	if cfg.L1I.Enabled {
@@ -156,11 +219,18 @@ func (n *Node) homeOf(l cache.LineAddr) arch.TileID {
 	return arch.TileID(uint64(l) % uint64(n.cfg.Tiles))
 }
 
+// shardFor maps a line homed at this tile to its directory shard. Lines
+// are striped across homes (line mod Tiles), so dividing by the tile count
+// yields this home's dense per-line index; consecutive local lines land in
+// consecutive shards.
+func (n *Node) shardFor(l cache.LineAddr) *dirShard {
+	return &n.shards[(uint64(l)/uint64(n.cfg.Tiles))&n.shardMask]
+}
+
 // Stats snapshots the tile's statistics. Safe to call after Serve stops;
-// during simulation it takes the hierarchy mutex.
+// during simulation it takes each domain lock in turn (never nested).
 func (n *Node) Stats() stats.Tile {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	st := n.st
 	if n.l1i != nil {
 		st.L1IHits, st.L1IMisses = n.l1i.Hits, n.l1i.Misses
@@ -171,8 +241,19 @@ func (n *Node) Stats() stats.Tile {
 	st.L2Hits, st.L2Misses = n.l2.Hits, n.l2.Misses
 	st.L2Evictions = n.l2.Evictions
 	st.L2Writebacks = n.l2.Writebacks
+	n.mu.Unlock()
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		st.DirRequests += sh.dirRequests
+		st.DirTraps += sh.dirTraps
+		st.InvSent += sh.invSent
+		sh.mu.Unlock()
+	}
+	n.dramMu.Lock()
 	st.DRAMReads, st.DRAMWrites = n.dram.Reads, n.dram.Writes
 	st.DRAMQueueWait = n.dram.TotalQueueDelay
+	n.dramMu.Unlock()
 	ns := n.net.Stats()
 	for c := network.Class(0); c < network.NumClasses; c++ {
 		st.NetPacketsSent += ns.PacketsSent[c].Load()
@@ -182,9 +263,11 @@ func (n *Node) Stats() stats.Tile {
 	return st
 }
 
-// send transmits a memory-class packet. Sends racing simulation teardown
-// (transport already closed) are dropped silently — the receiver is gone;
-// any other transport failure is unrecoverable simulator state.
+// send transmits a memory-class packet immediately. It is the core-thread
+// path (miss requests, FlushAll writebacks, peek/poke). Sends racing
+// simulation teardown (transport already closed) are dropped silently —
+// the receiver is gone; any other transport failure is unrecoverable
+// simulator state.
 func (n *Node) send(typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) arch.Cycles {
 	arrival, err := n.net.Send(network.ClassMemory, typ, dst, seq, payload, now)
 	if err != nil {
@@ -194,4 +277,63 @@ func (n *Node) send(typ uint8, dst arch.TileID, seq uint64, payload []byte, now 
 		panic("memsys: transport send failed: " + err.Error())
 	}
 	return arrival
+}
+
+// sendSrv queues a memory-class packet on the server goroutine's batch;
+// Serve flushes it before blocking and before waking the local core, which
+// preserves per-sender FIFO against the core thread's immediate sends.
+// Only the server goroutine may call it.
+func (n *Node) sendSrv(typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) arch.Cycles {
+	return n.out.Send(network.ClassMemory, typ, dst, seq, payload, now)
+}
+
+// The enc helpers encode payloads into the owning context's scratch
+// buffer; the result is valid until that context's next encode or send.
+func (n *Node) srvEncLine(line uint64) []byte {
+	n.srvScratch = encodeLine(n.srvScratch, line)
+	return n.srvScratch
+}
+
+func (n *Node) srvEncData(p dataPayload) []byte {
+	n.srvScratch = encodeData(n.srvScratch, p)
+	return n.srvScratch
+}
+
+func (n *Node) srvEncPeek(p peekPayload) []byte {
+	n.srvScratch = encodePeek(n.srvScratch, p)
+	return n.srvScratch
+}
+
+func (n *Node) coreEncReq(p reqPayload) []byte {
+	n.coreScratch = encodeReq(n.coreScratch, p)
+	return n.coreScratch
+}
+
+func (n *Node) coreEncLine(line uint64) []byte {
+	n.coreScratch = encodeLine(n.coreScratch, line)
+	return n.coreScratch
+}
+
+func (n *Node) coreEncData(p dataPayload) []byte {
+	n.coreScratch = encodeData(n.coreScratch, p)
+	return n.coreScratch
+}
+
+func (n *Node) coreEncPeek(p peekPayload) []byte {
+	n.coreScratch = encodePeek(n.coreScratch, p)
+	return n.coreScratch
+}
+
+// dramRead and dramWrite serialize home-shard access to the shared DRAM
+// controller.
+func (n *Node) dramRead(line uint64, buf []byte, now arch.Cycles) arch.Cycles {
+	n.dramMu.Lock()
+	defer n.dramMu.Unlock()
+	return n.dram.ReadLine(line, buf, now)
+}
+
+func (n *Node) dramWrite(line uint64, data []byte, now arch.Cycles) {
+	n.dramMu.Lock()
+	defer n.dramMu.Unlock()
+	n.dram.WriteLine(line, data, now)
 }

@@ -1,12 +1,28 @@
 package memsys
 
 import (
+	"errors"
+
 	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/directory"
 	"repro/internal/network"
 	"repro/internal/stats"
+	"repro/internal/transport"
 )
+
+// coreWake is a deferred completion of the local core's outstanding miss:
+// Serve signals it only after flushing batched sends (see Serve).
+type coreWake struct {
+	done chan replyInfo
+	info replyInfo
+}
+
+// maxDrain bounds how many queued packets Serve processes before flushing
+// batched sends and waking the local core, so a long inbound burst cannot
+// starve either. Within the bound, replies produced while draining a burst
+// coalesce into one transport operation per destination.
+const maxDrain = 64
 
 // Serve is the tile's memory server loop. It processes every memory-class
 // packet addressed to this tile — directory requests for lines homed here,
@@ -17,81 +33,142 @@ import (
 // machine (blocking directory with per-line pending queues), so the
 // distributed protocol cannot deadlock even while this tile's own core is
 // blocked on a miss.
+//
+// Outgoing messages are batched per destination and flushed when the
+// inbound queue is momentarily empty (or maxDrain is hit) — always before
+// Serve blocks again, which keeps the protocol live, and always before a
+// waiting core thread is woken, which keeps per-sender FIFO intact: a
+// woken core may immediately send new messages (a miss for the line just
+// evicted, say) that must not overtake the writeback still sitting in the
+// batch.
 func (n *Node) Serve() {
 	defer close(n.stopped)
+	var wake []coreWake
 	for {
 		pkt, ok := n.net.Recv(network.ClassMemory)
 		if !ok {
+			n.flushSends()
 			return
 		}
-		n.dispatch(pkt)
+		for processed := 1; ; processed++ {
+			if done, info := n.dispatch(pkt); done != nil {
+				wake = append(wake, coreWake{done, info})
+			}
+			if processed >= maxDrain {
+				break
+			}
+			if pkt, ok = n.net.TryRecv(network.ClassMemory); !ok {
+				break
+			}
+		}
+		n.flushSends()
+		for i := range wake {
+			wake[i].done <- wake[i].info
+			wake[i] = coreWake{}
+		}
+		wake = wake[:0]
+	}
+}
+
+// flushSends pushes the server's batched messages onto the fabric.
+func (n *Node) flushSends() {
+	if err := n.out.Flush(); err != nil && !errors.Is(err, transport.ErrClosed) {
+		panic("memsys: transport send failed: " + err.Error())
 	}
 }
 
 // Stopped reports server termination (for tests and teardown).
 func (n *Node) Stopped() <-chan struct{} { return n.stopped }
 
-func (n *Node) dispatch(pkt network.Packet) {
-	// One per-tile mutex guards the caches, the directory shard, stats,
-	// and the pending request slot. Nothing under it blocks: transport
-	// sends are unbounded.
-	n.mu.Lock()
-	var done chan replyInfo
-	var info replyInfo
+// dispatch decodes a packet and routes it to its lock domain: home-side
+// messages to the directory shard of their line, cache commands and core
+// completions to the core domain (mu). Exactly one domain lock is taken
+// per message and nothing under a lock blocks, so the domains cannot
+// deadlock against the core thread or each other.
+func (n *Node) dispatch(pkt network.Packet) (chan replyInfo, replyInfo) {
 	switch pkt.Type {
 	case msgShReq, msgExReq:
-		n.handleRequest(pkt)
+		req, err := decodeReq(pkt.Payload)
+		if err != nil {
+			panic("memsys: " + err.Error())
+		}
+		sh := n.shardFor(cache.LineAddr(req.line))
+		sh.mu.Lock()
+		n.handleRequest(sh, pkt, req)
+		sh.mu.Unlock()
 	case msgEvictS:
-		n.handleEvictS(pkt)
+		line, err := decodeLine(pkt.Payload)
+		if err != nil {
+			panic("memsys: " + err.Error())
+		}
+		sh := n.shardFor(cache.LineAddr(line))
+		sh.mu.Lock()
+		if dl := sh.lines[cache.LineAddr(line)]; dl != nil {
+			dl.entry.Sharers.Remove(pkt.Src)
+		}
+		sh.mu.Unlock()
 	case msgEvictM:
-		n.handleEvictM(pkt)
+		p, err := decodeData(pkt.Payload)
+		if err != nil {
+			panic("memsys: " + err.Error())
+		}
+		sh := n.shardFor(cache.LineAddr(p.line))
+		sh.mu.Lock()
+		n.handleEvictM(sh, pkt, p)
+		sh.mu.Unlock()
 	case msgInvReq, msgWbReq, msgFlushReq:
+		n.mu.Lock()
 		n.handleControllerOp(pkt)
+		n.mu.Unlock()
 	case msgInvRep, msgWbRep, msgFlushRep:
-		n.handleHomeReply(pkt)
+		p, err := decodeData(pkt.Payload)
+		if err != nil {
+			panic("memsys: " + err.Error())
+		}
+		sh := n.shardFor(cache.LineAddr(p.line))
+		sh.mu.Lock()
+		n.handleHomeReply(sh, pkt, p)
+		sh.mu.Unlock()
 	case msgShRep, msgExRep, msgUpgRep, msgPeekRep, msgPokeAck:
-		done, info = n.completeCore(pkt)
+		n.mu.Lock()
+		done, info := n.completeCore(pkt)
+		n.mu.Unlock()
+		return done, info
 	case msgEvictAck:
 		n.wbAcked()
 	case msgPeek, msgPoke:
 		n.handlePeekPoke(pkt)
 	}
-	n.mu.Unlock()
-	if done != nil {
-		done <- info
-	}
+	return nil, replyInfo{}
 }
 
-func (n *Node) dirLineOf(l cache.LineAddr) *dirLine {
-	dl := n.dir[l]
+func (sh *dirShard) dirLineOf(n *Node, l cache.LineAddr) *dirLine {
+	dl := sh.lines[l]
 	if dl == nil {
 		dl = &dirLine{entry: directory.NewEntry(n.cfg.Coherence, n.cfg.Tiles)}
-		n.dir[l] = dl
+		sh.lines[l] = dl
 	}
 	return dl
 }
 
-// handleRequest is the home's entry point for ShReq/ExReq.
-func (n *Node) handleRequest(pkt network.Packet) {
-	req, err := decodeReq(pkt.Payload)
-	if err != nil {
-		panic("memsys: " + err.Error())
-	}
-	n.st.DirRequests++
-	dl := n.dirLineOf(cache.LineAddr(req.line))
+// handleRequest is the home's entry point for ShReq/ExReq. Called with the
+// line's shard locked.
+func (n *Node) handleRequest(sh *dirShard, pkt network.Packet, req reqPayload) {
+	sh.dirRequests++
+	dl := sh.dirLineOf(n, cache.LineAddr(req.line))
 	if dl.busy != nil {
 		dl.pending = append(dl.pending, pkt)
 		return
 	}
-	n.startTxn(dl, pkt, req)
+	n.startTxn(sh, dl, pkt, req)
 }
 
-func (n *Node) startTxn(dl *dirLine, pkt network.Packet, req reqPayload) {
+func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPayload) {
 	e := dl.entry
 	t := pkt.Time + n.cfg.Coherence.DirLatency
-	n.homeSeq++
+	sh.homeSeq++
 	tx := &txn{
-		homeSeq:   n.homeSeq,
+		homeSeq:   sh.homeSeq,
 		reqType:   pkt.Type,
 		requester: pkt.Src,
 		reqSeq:    pkt.Seq,
@@ -107,14 +184,14 @@ func (n *Node) startTxn(dl *dirLine, pkt network.Packet, req reqPayload) {
 			// Downgrade the Modified owner and collect its data.
 			tx.waitData = true
 			tx.dataFrom = e.Owner
-			n.send(msgWbReq, e.Owner, tx.homeSeq, encodeLine(req.line), t)
+			n.sendSrv(msgWbReq, e.Owner, tx.homeSeq, n.srvEncLine(req.line), t)
 			dl.busy = tx
 			return
 		}
 		// completeTxn adds the requester to the sharer set, handling any
 		// Dir_iNB pointer reclaim (which requires another invalidation
 		// round before the grant).
-		n.completeTxn(dl, tx, t)
+		n.completeTxn(sh, dl, tx, t)
 		return
 	}
 
@@ -122,7 +199,7 @@ func (n *Node) startTxn(dl *dirLine, pkt network.Packet, req reqPayload) {
 	if e.Owner != arch.InvalidTile && e.Owner != pkt.Src {
 		tx.waitData = true
 		tx.dataFrom = e.Owner
-		n.send(msgFlushReq, e.Owner, tx.homeSeq, encodeLine(req.line), t)
+		n.sendSrv(msgFlushReq, e.Owner, tx.homeSeq, n.srvEncLine(req.line), t)
 		dl.busy = tx
 		return
 	}
@@ -130,26 +207,26 @@ func (n *Node) startTxn(dl *dirLine, pkt network.Packet, req reqPayload) {
 	tx.upgrade = tx.upgrade && e.Sharers.Contains(pkt.Src)
 	if e.Sharers.InvTrap() {
 		tx.trapExtra += n.cfg.Coherence.TrapLatency
-		n.st.DirTraps++
+		sh.dirTraps++
 	}
 	e.Sharers.ForEach(func(s arch.TileID) {
 		if s == pkt.Src {
 			return
 		}
 		tx.waitAcks++
-		n.st.InvSent++
-		n.send(msgInvReq, s, tx.homeSeq, encodeLine(req.line), t)
+		sh.invSent++
+		n.sendSrv(msgInvReq, s, tx.homeSeq, n.srvEncLine(req.line), t)
 	})
 	e.Sharers.Clear()
 	if tx.waitAcks > 0 {
 		dl.busy = tx
 		return
 	}
-	n.completeTxn(dl, tx, t)
+	n.completeTxn(sh, dl, tx, t)
 }
 
 // completeTxn grants the request and replies to the requester.
-func (n *Node) completeTxn(dl *dirLine, tx *txn, now arch.Cycles) {
+func (n *Node) completeTxn(sh *dirShard, dl *dirLine, tx *txn, now arch.Cycles) {
 	e := dl.entry
 	t := now
 	if tx.latest > t {
@@ -170,55 +247,55 @@ func (n *Node) completeTxn(dl *dirLine, tx *txn, now arch.Cycles) {
 		evict, trap := e.Sharers.Add(tx.requester)
 		if trap {
 			tx.trapExtra += n.cfg.Coherence.TrapLatency
-			n.st.DirTraps++
+			sh.dirTraps++
 		}
 		if evict != arch.InvalidTile && evict != tx.requester {
 			tx.waitAcks++
-			n.st.InvSent++
-			n.send(msgInvReq, evict, tx.homeSeq, encodeLine(uint64(tx.line)), t)
+			sh.invSent++
+			n.sendSrv(msgInvReq, evict, tx.homeSeq, n.srvEncLine(uint64(tx.line)), t)
 			tx.latest = t
 			dl.busy = tx // re-enters completeTxn when the ack arrives
 			return
 		}
-		buf := make([]byte, n.lineSize)
+		buf := n.grantBuf
 		if tx.haveData {
 			// Data flushed by the former owner; it is also written back
 			// so every Shared copy is clean (MSI). The writeback occupies
 			// the DRAM queue but is off the critical path.
 			copy(buf, tx.data)
-			n.dram.WriteLine(uint64(tx.line), tx.data, t)
+			n.dramWrite(uint64(tx.line), tx.data, t)
 		} else {
-			t += n.dram.ReadLine(uint64(tx.line), buf, t)
+			t += n.dramRead(uint64(tx.line), buf, t)
 		}
 		payload.flags |= flagHasData
 		payload.data = buf
-		n.send(msgShRep, tx.requester, tx.reqSeq, encodeData(payload), t)
+		n.sendSrv(msgShRep, tx.requester, tx.reqSeq, n.srvEncData(payload), t)
 	} else {
 		e.LastWriter = tx.requester
 		e.LastWriterMask = tx.reqMask
 		if tx.upgrade && !tx.haveData {
 			e.Owner = tx.requester
-			n.send(msgUpgRep, tx.requester, tx.reqSeq, encodeData(payload), t)
+			n.sendSrv(msgUpgRep, tx.requester, tx.reqSeq, n.srvEncData(payload), t)
 		} else {
-			buf := make([]byte, n.lineSize)
+			buf := n.grantBuf
 			if tx.haveData {
 				// Dirty data moves owner to owner without touching DRAM.
 				copy(buf, tx.data)
 			} else {
-				t += n.dram.ReadLine(uint64(tx.line), buf, t)
+				t += n.dramRead(uint64(tx.line), buf, t)
 			}
 			e.Owner = tx.requester
 			payload.flags |= flagHasData
 			payload.data = buf
-			n.send(msgExRep, tx.requester, tx.reqSeq, encodeData(payload), t)
+			n.sendSrv(msgExRep, tx.requester, tx.reqSeq, n.srvEncData(payload), t)
 		}
 	}
 	dl.busy = nil
-	n.popPending(dl)
+	n.popPending(sh, dl)
 }
 
 // popPending starts the next queued request for the line, if any.
-func (n *Node) popPending(dl *dirLine) {
+func (n *Node) popPending(sh *dirShard, dl *dirLine) {
 	for dl.busy == nil && len(dl.pending) > 0 {
 		pkt := dl.pending[0]
 		dl.pending = dl.pending[1:]
@@ -226,19 +303,16 @@ func (n *Node) popPending(dl *dirLine) {
 		if err != nil {
 			panic("memsys: " + err.Error())
 		}
-		n.startTxn(dl, pkt, req)
+		n.startTxn(sh, dl, pkt, req)
 	}
 }
 
 // handleHomeReply processes InvRep/WbRep/FlushRep for an in-flight
 // transaction. Stale replies (transaction already satisfied by a crossing
-// EvictM) are dropped by sequence-number mismatch.
-func (n *Node) handleHomeReply(pkt network.Packet) {
-	p, err := decodeData(pkt.Payload)
-	if err != nil {
-		panic("memsys: " + err.Error())
-	}
-	dl := n.dir[cache.LineAddr(p.line)]
+// EvictM) are dropped by sequence-number mismatch. Called with the line's
+// shard locked.
+func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) {
+	dl := sh.lines[cache.LineAddr(p.line)]
 	if dl == nil || dl.busy == nil || dl.busy.homeSeq != pkt.Seq {
 		return // stale reply from a completed transaction
 	}
@@ -252,7 +326,7 @@ func (n *Node) handleHomeReply(pkt network.Packet) {
 		tx.waitAcks--
 		if p.flags&flagHasData != 0 {
 			// Defensive: an invalidated copy turned out Modified.
-			n.dram.WriteLine(p.line, p.data, pkt.Time)
+			n.dramWrite(p.line, p.data, pkt.Time)
 		}
 	case msgWbRep:
 		if p.flags&flagNotPresent != 0 {
@@ -272,8 +346,8 @@ func (n *Node) handleHomeReply(pkt network.Packet) {
 		// leak an untracked sharer.
 		if evict, _ := e.Sharers.Add(pkt.Src); evict != arch.InvalidTile && evict != pkt.Src {
 			tx.waitAcks++
-			n.st.InvSent++
-			n.send(msgInvReq, evict, tx.homeSeq, encodeLine(p.line), pkt.Time)
+			sh.invSent++
+			n.sendSrv(msgInvReq, evict, tx.homeSeq, n.srvEncLine(p.line), pkt.Time)
 		}
 		e.LastWriter = pkt.Src
 		e.LastWriterMask = p.mask
@@ -290,33 +364,19 @@ func (n *Node) handleHomeReply(pkt network.Packet) {
 		e.LastWriterMask = p.mask
 	}
 	if tx.waitAcks == 0 && !tx.waitData {
-		n.completeTxn(dl, tx, tx.latest)
-	}
-}
-
-// handleEvictS removes a sharer after a clean eviction notification.
-func (n *Node) handleEvictS(pkt network.Packet) {
-	line, err := decodeLine(pkt.Payload)
-	if err != nil {
-		panic("memsys: " + err.Error())
-	}
-	if dl := n.dir[cache.LineAddr(line)]; dl != nil {
-		dl.entry.Sharers.Remove(pkt.Src)
+		n.completeTxn(sh, dl, tx, tx.latest)
 	}
 }
 
 // handleEvictM applies a dirty writeback. If a transaction is waiting for
 // a flush from the evicting owner, the writeback doubles as the flush data
 // (the owner's not-present reply that follows is dropped as stale).
-func (n *Node) handleEvictM(pkt network.Packet) {
-	p, err := decodeData(pkt.Payload)
-	if err != nil {
-		panic("memsys: " + err.Error())
-	}
-	n.send(msgEvictAck, pkt.Src, pkt.Seq, encodeLine(p.line), pkt.Time)
-	dl := n.dirLineOf(cache.LineAddr(p.line))
+// Called with the line's shard locked.
+func (n *Node) handleEvictM(sh *dirShard, pkt network.Packet, p dataPayload) {
+	n.sendSrv(msgEvictAck, pkt.Src, pkt.Seq, n.srvEncLine(p.line), pkt.Time)
+	dl := sh.dirLineOf(n, cache.LineAddr(p.line))
 	e := dl.entry
-	n.dram.WriteLine(p.line, p.data, pkt.Time)
+	n.dramWrite(p.line, p.data, pkt.Time)
 	if dl.busy != nil && dl.busy.waitData && dl.busy.dataFrom == pkt.Src {
 		tx := dl.busy
 		tx.waitData = false
@@ -330,7 +390,7 @@ func (n *Node) handleEvictM(pkt network.Packet) {
 		e.LastWriter = pkt.Src
 		e.LastWriterMask = p.mask
 		if tx.waitAcks == 0 {
-			n.completeTxn(dl, tx, tx.latest)
+			n.completeTxn(sh, dl, tx, tx.latest)
 		}
 		return
 	}
@@ -342,6 +402,7 @@ func (n *Node) handleEvictM(pkt network.Packet) {
 }
 
 // handleControllerOp serves Inv/Wb/Flush commands against the local caches.
+// Called with the core domain (mu) locked.
 func (n *Node) handleControllerOp(pkt network.Packet) {
 	line, err := decodeLine(pkt.Payload)
 	if err != nil {
@@ -365,17 +426,17 @@ func (n *Node) handleControllerOp(pkt network.Packet) {
 		} else {
 			pay.flags |= flagNotPresent
 		}
-		n.send(msgInvRep, pkt.Src, pkt.Seq, encodeData(pay), t)
+		n.sendSrv(msgInvRep, pkt.Src, pkt.Seq, n.srvEncData(pay), t)
 	case msgWbReq:
 		if ln := n.l2.Peek(l); ln != nil {
 			pay.flags |= flagHasData
 			pay.mask = ln.WriteMask
-			pay.data = cloneBytes(ln.Data)
+			pay.data = ln.Data // copied by the payload encoder below
 			n.l2.Downgrade(l)
 		} else {
 			pay.flags |= flagNotPresent
 		}
-		n.send(msgWbRep, pkt.Src, pkt.Seq, encodeData(pay), t)
+		n.sendSrv(msgWbRep, pkt.Src, pkt.Seq, n.srvEncData(pay), t)
 	case msgFlushReq:
 		if ln, ok := n.l2.Invalidate(l); ok {
 			pay.flags |= flagHasData
@@ -386,13 +447,14 @@ func (n *Node) handleControllerOp(pkt network.Packet) {
 		} else {
 			pay.flags |= flagNotPresent
 		}
-		n.send(msgFlushRep, pkt.Src, pkt.Seq, encodeData(pay), t)
+		n.sendSrv(msgFlushRep, pkt.Src, pkt.Seq, n.srvEncData(pay), t)
 	}
 }
 
 // completeCore finishes the tile's outstanding miss: it installs the line,
 // applies the pending operation, classifies the miss, and returns the
-// waiting core's channel (signaled by the caller after unlocking).
+// waiting core's channel (signaled by Serve after the send batch is
+// flushed).
 func (n *Node) completeCore(pkt network.Packet) (chan replyInfo, replyInfo) {
 	pr := n.pending
 	if pr == nil || pr.seq != pkt.Seq {
@@ -504,16 +566,18 @@ func (n *Node) classify(pr *pendingReq, p dataPayload) stats.MissKind {
 }
 
 // processVictim handles an L2 eviction: L1 inclusion and the home
-// notification (writeback for Modified victims).
+// notification (writeback for Modified victims). The notification rides
+// the server's send batch, which Serve flushes before waking the core —
+// so the core cannot re-request the victim line ahead of its writeback.
 func (n *Node) processVictim(victim cache.Line, now arch.Cycles) {
 	n.invL1(victim.Addr)
 	home := n.homeOf(victim.Addr)
 	if victim.State == cache.Modified {
 		n.outstandingWB.Add(1)
 		pay := dataPayload{line: uint64(victim.Addr), mask: victim.WriteMask, writer: n.tile, flags: flagHasData, data: victim.Data}
-		n.send(msgEvictM, home, 0, encodeData(pay), now)
+		n.sendSrv(msgEvictM, home, 0, n.srvEncData(pay), now)
 	} else {
-		n.send(msgEvictS, home, 0, encodeLine(uint64(victim.Addr)), now)
+		n.sendSrv(msgEvictS, home, 0, n.srvEncLine(uint64(victim.Addr)), now)
 	}
 }
 
@@ -540,13 +604,17 @@ func (n *Node) handlePeekPoke(pkt network.Packet) {
 	line := uint64(p.addr) >> n.lineBits
 	off := int(uint64(p.addr) & (uint64(n.lineSize) - 1))
 	if pkt.Type == msgPoke {
+		n.dramMu.Lock()
 		n.dram.Poke(line, off, p.data)
-		n.send(msgPokeAck, pkt.Src, pkt.Seq, nil, pkt.Time)
+		n.dramMu.Unlock()
+		n.sendSrv(msgPokeAck, pkt.Src, pkt.Seq, nil, pkt.Time)
 		return
 	}
 	buf := make([]byte, p.n)
+	n.dramMu.Lock()
 	n.dram.Peek(line, off, buf)
-	n.send(msgPeekRep, pkt.Src, pkt.Seq, encodePeek(peekPayload{addr: p.addr, n: p.n, data: buf}), pkt.Time)
+	n.dramMu.Unlock()
+	n.sendSrv(msgPeekRep, pkt.Src, pkt.Seq, n.srvEncPeek(peekPayload{addr: p.addr, n: p.n, data: buf}), pkt.Time)
 }
 
 func (n *Node) wbAcked() {

@@ -1,0 +1,87 @@
+package network
+
+import (
+	"repro/internal/arch"
+	"repro/internal/transport"
+)
+
+// Batch accumulates outgoing packets per destination endpoint and hands
+// them to the transport as coalesced batches (transport.SendBatch), so a
+// burst of protocol messages costs one fabric operation per destination
+// instead of one per packet.
+//
+// Timing is identical to Net.Send: each packet's modeled delay and arrival
+// timestamp are computed at Send time from the sender's clock, and traffic
+// statistics are counted immediately. Only the physical hand-off to the
+// transport is deferred until Flush.
+//
+// A Batch is owned by a single goroutine and is not safe for concurrent
+// use. Ordering caution: packets queued on a Batch are delivered when
+// Flush runs, so a sender that also performs direct Net.Sends to the same
+// destination (or signals another goroutine that will) must Flush first,
+// or per-sender FIFO is lost. The memory server flushes before blocking
+// and before waking its core thread for exactly this reason.
+type Batch struct {
+	n     *Net
+	order []transport.EndpointID
+	pend  map[transport.EndpointID][][]byte
+}
+
+// NewBatch creates a batching sender on this Net.
+func (n *Net) NewBatch() *Batch {
+	return &Batch{n: n, pend: make(map[transport.EndpointID][][]byte)}
+}
+
+// Send models and queues a packet for dst, returning its simulated arrival
+// time. The packet reaches the fabric at the next Flush.
+func (b *Batch) Send(class Class, typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) arch.Cycles {
+	n := b.n
+	p := Packet{Class: class, Type: typ, Src: n.node, Dst: dst, Seq: seq, Payload: payload}
+	delay := n.models.Delay(class, n.node, dst, p.Bytes(), now)
+	p.Time = now + delay
+	n.stats.PacketsSent[class].Add(1)
+	n.stats.BytesSent[class].Add(uint64(p.Bytes()))
+	n.stats.TotalDelay[class].Add(int64(delay))
+	// Empty (not absent): Flush keeps drained entries in the map for
+	// reuse, so membership in order is "has pending frames", not "known".
+	ep := transport.EndpointID(dst)
+	if len(b.pend[ep]) == 0 {
+		b.order = append(b.order, ep)
+	}
+	b.pend[ep] = append(b.pend[ep], p.Encode())
+	return p.Time
+}
+
+// Len reports how many packets are queued.
+func (b *Batch) Len() int {
+	total := 0
+	for _, fs := range b.pend {
+		total += len(fs)
+	}
+	return total
+}
+
+// Flush hands every queued batch to the transport, one SendBatch per
+// destination in first-queued order, and empties the Batch. The first
+// transport error is returned; later destinations are still attempted so
+// a teardown race cannot strand deliverable messages.
+func (b *Batch) Flush() error {
+	var firstErr error
+	for _, ep := range b.order {
+		frames := b.pend[ep]
+		if len(frames) == 0 {
+			continue
+		}
+		if err := b.n.tr.SendBatch(ep, frames); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Keep the map entry but drop the frame references; the backing
+		// header array is reused by the next burst to this destination.
+		for i := range frames {
+			frames[i] = nil
+		}
+		b.pend[ep] = frames[:0]
+	}
+	b.order = b.order[:0]
+	return firstErr
+}

@@ -47,11 +47,15 @@ type Stats struct {
 	TotalDelay  [NumClasses]atomic.Int64 // summed modeled latency of sent packets
 }
 
-// pktQueue is an unbounded FIFO of packets.
+// pktQueue is an unbounded FIFO of packets, stored in a ring buffer so
+// steady-state traffic recycles one allocation instead of regrowing an
+// append-and-reslice queue (whose head capacity is unrecoverable).
 type pktQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []Packet
+	buf    []Packet // ring of count packets starting at head
+	head   int
+	count  int
 	closed bool
 }
 
@@ -61,29 +65,64 @@ func newPktQueue() *pktQueue {
 	return q
 }
 
+// at indexes the ring: logical position i counted from the head.
+// Called with mu held.
+func (q *pktQueue) at(i int) *Packet {
+	return &q.buf[(q.head+i)%len(q.buf)]
+}
+
 func (q *pktQueue) put(p Packet) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return
 	}
-	q.queue = append(q.queue, p)
+	if q.count == len(q.buf) {
+		newCap := len(q.buf) * 2
+		if newCap < 16 {
+			newCap = 16
+		}
+		nb := make([]Packet, newCap)
+		for i := 0; i < q.count; i++ {
+			nb[i] = *q.at(i)
+		}
+		q.buf, q.head = nb, 0
+	}
+	*q.at(q.count) = p
+	q.count++
 	q.cond.Signal()
+}
+
+// pop removes and returns the head packet. Called with mu held, count > 0.
+func (q *pktQueue) pop() Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = Packet{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return p
+}
+
+// tryGet returns the next packet without blocking; ok is false when the
+// queue is momentarily empty or closed.
+func (q *pktQueue) tryGet() (Packet, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		return Packet{}, false
+	}
+	return q.pop(), true
 }
 
 func (q *pktQueue) get() (Packet, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.queue) == 0 && !q.closed {
+	for q.count == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.queue) == 0 {
+	if q.count == 0 {
 		return Packet{}, false
 	}
-	p := q.queue[0]
-	q.queue[0] = Packet{}
-	q.queue = q.queue[1:]
-	return p, true
+	return q.pop(), true
 }
 
 // getMatch returns the first packet satisfying pred, buffering others in
@@ -93,14 +132,19 @@ func (q *pktQueue) getMatch(pred func(*Packet) bool) (Packet, bool) {
 	defer q.mu.Unlock()
 	scanned := 0
 	for {
-		for i := scanned; i < len(q.queue); i++ {
-			if pred(&q.queue[i]) {
-				p := q.queue[i]
-				q.queue = append(q.queue[:i], q.queue[i+1:]...)
+		for i := scanned; i < q.count; i++ {
+			if pred(q.at(i)) {
+				p := *q.at(i)
+				// Close the gap: shift everything after i forward one slot.
+				for j := i; j+1 < q.count; j++ {
+					*q.at(j) = *q.at(j + 1)
+				}
+				*q.at(q.count - 1) = Packet{}
+				q.count--
 				return p, true
 			}
 		}
-		scanned = len(q.queue)
+		scanned = q.count
 		if q.closed {
 			return Packet{}, false
 		}
@@ -192,6 +236,13 @@ func (n *Net) Send(class Class, typ uint8, dst arch.TileID, seq uint64, payload 
 // ok is false after Close.
 func (n *Net) Recv(class Class) (Packet, bool) {
 	return n.queues[class].get()
+}
+
+// TryRecv returns the next packet of a class without blocking; ok is false
+// when none is queued (or the Net is closed). Server loops use it to drain
+// bursts before flushing batched replies.
+func (n *Net) TryRecv(class Class) (Packet, bool) {
+	return n.queues[class].tryGet()
 }
 
 // RecvMatch blocks for the next packet of a class satisfying pred,

@@ -18,6 +18,13 @@ import (
 // against corrupt frames.
 const maxFrame = 16 << 20
 
+// batchFlag marks a coalesced frame in the length word of the wire header.
+// The payload of a batch frame is a frame count followed by that many
+// length-prefixed sub-frames, all destined for the same endpoint; the
+// reader splits them and delivers each as an ordinary message, preserving
+// order. maxFrame leaves the top bits of the length word free.
+const batchFlag = 1 << 31
+
 // TCPConfig configures one process's attachment to a TCP fabric.
 type TCPConfig struct {
 	// Proc is this process's ID.
@@ -169,6 +176,8 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		dst := EndpointID(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+		isBatch := n&batchFlag != 0
+		n &^= batchFlag
 		if n > maxFrame {
 			return
 		}
@@ -176,8 +185,49 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(r, data); err != nil {
 			return
 		}
-		t.deliverLocal(dst, data)
+		if !isBatch {
+			t.deliverLocal(dst, data)
+			continue
+		}
+		frames, ok := splitBatch(data)
+		if !ok {
+			return // corrupt batch framing; the connection is unusable
+		}
+		t.deliverLocalBatch(dst, frames)
 	}
+}
+
+// splitBatch parses a batch payload into its sub-frames. The sub-frames
+// alias data, which is fine: receivers own delivered frames and the buffer
+// is never reused.
+func splitBatch(data []byte) ([][]byte, bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	count := binary.LittleEndian.Uint32(data[0:4])
+	data = data[4:]
+	// Every sub-frame costs at least 4 header bytes, so a valid count can
+	// never exceed len(data)/4. Reject corrupt counts before sizing the
+	// slice — a hostile value must not drive a huge allocation.
+	if uint64(count) > uint64(len(data))/4 {
+		return nil, false
+	}
+	frames := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(data) < 4 {
+			return nil, false
+		}
+		n := binary.LittleEndian.Uint32(data[0:4])
+		if uint32(len(data)-4) < n {
+			return nil, false
+		}
+		frames = append(frames, data[4:4+n])
+		data = data[4+n:]
+	}
+	if len(data) != 0 {
+		return nil, false
+	}
+	return frames, true
 }
 
 func (t *tcpTransport) deliverLocal(dst EndpointID, data []byte) {
@@ -190,6 +240,15 @@ func (t *tcpTransport) deliverLocal(dst EndpointID, data []byte) {
 	// Frames for unregistered endpoints are dropped; this happens only
 	// during shutdown races and is harmless because simulations quiesce
 	// before teardown.
+}
+
+func (t *tcpTransport) deliverLocalBatch(dst EndpointID, frames [][]byte) {
+	t.mu.RLock()
+	b := t.boxes[dst]
+	t.mu.RUnlock()
+	if b != nil {
+		b.putBatch(frames)
+	}
 }
 
 // Register implements Transport.
@@ -243,6 +302,70 @@ func (t *tcpTransport) Send(dst EndpointID, data []byte) error {
 	}
 	if _, err := p.w.Write(data); err != nil {
 		return err
+	}
+	return p.w.Flush()
+}
+
+// SendBatch implements Transport. Remote batches travel as one flagged
+// frame — a single buffered write and flush for the whole batch instead of
+// one per message.
+func (t *tcpTransport) SendBatch(dst EndpointID, frames [][]byte) error {
+	switch len(frames) {
+	case 0:
+		return nil
+	case 1:
+		return t.Send(dst, frames[0])
+	}
+	owner := t.cfg.Route(dst)
+	if owner == t.cfg.Proc {
+		t.mu.RLock()
+		b := t.boxes[dst]
+		closed := t.closed
+		t.mu.RUnlock()
+		if closed {
+			return ErrClosed
+		}
+		if b == nil {
+			return fmt.Errorf("transport: send to unregistered local endpoint %d", dst)
+		}
+		return b.putBatch(frames)
+	}
+	if int(owner) >= len(t.peers) || t.peers[owner] == nil {
+		return fmt.Errorf("transport: no connection to process %d", owner)
+	}
+	total := 4
+	for _, f := range frames {
+		total += 4 + len(f)
+	}
+	if total > maxFrame {
+		// A batch this large is pathological; fall back to per-frame sends
+		// rather than widening the frame format.
+		for _, f := range frames {
+			if err := t.Send(dst, f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	p := t.peers[owner]
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(total)|batchFlag)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(dst)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(frames)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var sub [4]byte
+	for _, f := range frames {
+		binary.LittleEndian.PutUint32(sub[:], uint32(len(f)))
+		if _, err := p.w.Write(sub[:]); err != nil {
+			return err
+		}
+		if _, err := p.w.Write(f); err != nil {
+			return err
+		}
 	}
 	return p.w.Flush()
 }

@@ -56,6 +56,15 @@ type Transport interface {
 	// Send delivers data to dst, which may live in any process.
 	// The data slice is owned by the transport after the call.
 	Send(dst EndpointID, data []byte) error
+	// SendBatch delivers frames to dst in order, as one fabric operation.
+	// It is semantically identical to calling Send once per frame but lets
+	// backends amortize locking, wire framing, and receiver wakeups across
+	// the whole batch. Like Send it never blocks on the receiver. Each
+	// frame's byte slice is owned by the transport after the call, but the
+	// containing frames slice reverts to the caller when SendBatch
+	// returns — implementations must copy the frame references out before
+	// returning (senders recycle the container across batches).
+	SendBatch(dst EndpointID, frames [][]byte) error
 	// Close shuts down the transport; pending Recv calls return ErrClosed.
 	Close() error
 }
@@ -92,11 +101,16 @@ func StripedRoute(procs int) RouteFunc {
 	}
 }
 
-// mailbox is an unbounded FIFO of messages.
+// mailbox is an unbounded FIFO of messages, stored in a ring buffer so
+// steady-state traffic recycles one allocation instead of regrowing an
+// append-and-reslice queue (the head capacity of a sliced queue is
+// unrecoverable, so it reallocates continuously under load).
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  [][]byte
+	buf    [][]byte // ring of count frames starting at head
+	head   int
+	count  int
 	closed bool
 	id     EndpointID
 }
@@ -107,14 +121,70 @@ func newMailbox(id EndpointID) *mailbox {
 	return m
 }
 
+// grow ensures room for n more frames. Called with mu held.
+func (m *mailbox) grow(n int) {
+	if m.count+n <= len(m.buf) {
+		return
+	}
+	newCap := len(m.buf) * 2
+	if newCap < 16 {
+		newCap = 16
+	}
+	for newCap < m.count+n {
+		newCap *= 2
+	}
+	nb := make([][]byte, newCap)
+	for i := 0; i < m.count; i++ {
+		nb[i] = m.buf[(m.head+i)%len(m.buf)]
+	}
+	m.buf, m.head = nb, 0
+}
+
+func (m *mailbox) push(data []byte) {
+	m.grow(1)
+	m.buf[(m.head+m.count)%len(m.buf)] = data
+	m.count++
+}
+
+func (m *mailbox) pop() []byte {
+	data := m.buf[m.head]
+	m.buf[m.head] = nil
+	m.head = (m.head + 1) % len(m.buf)
+	m.count--
+	return data
+}
+
 func (m *mailbox) put(data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return ErrClosed
 	}
-	m.queue = append(m.queue, data)
+	m.push(data)
 	m.cond.Signal()
+	return nil
+}
+
+// putBatch appends a whole batch under one lock acquisition and wakes the
+// receiver once, preserving the order of frames.
+func (m *mailbox) putBatch(frames [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.grow(len(frames))
+	for _, f := range frames {
+		m.buf[(m.head+m.count)%len(m.buf)] = f
+		m.count++
+	}
+	// Broadcast, not Signal: with more than one message queued, several
+	// concurrent Recv callers can all make progress.
+	if len(frames) > 1 {
+		m.cond.Broadcast()
+	} else {
+		m.cond.Signal()
+	}
 	return nil
 }
 
@@ -125,32 +195,26 @@ func (m *mailbox) ID() EndpointID { return m.id }
 func (m *mailbox) Recv() ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.count == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.queue) == 0 {
+	if m.count == 0 {
 		return nil, ErrClosed
 	}
-	data := m.queue[0]
-	m.queue[0] = nil
-	m.queue = m.queue[1:]
-	return data, nil
+	return m.pop(), nil
 }
 
 // TryRecv implements Endpoint.
 func (m *mailbox) TryRecv() ([]byte, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.queue) == 0 {
+	if m.count == 0 {
 		if m.closed {
 			return nil, false, ErrClosed
 		}
 		return nil, false, nil
 	}
-	data := m.queue[0]
-	m.queue[0] = nil
-	m.queue = m.queue[1:]
-	return data, true, nil
+	return m.pop(), true, nil
 }
 
 // Close implements Endpoint.
@@ -215,18 +279,37 @@ func (f *ChannelFabric) register(p arch.ProcID, id EndpointID) (Endpoint, error)
 	return b, nil
 }
 
-func (f *ChannelFabric) send(dst EndpointID, data []byte) error {
+func (f *ChannelFabric) box(dst EndpointID) (*mailbox, error) {
 	f.mu.RLock()
 	b := f.boxes[dst]
 	done := f.done
 	f.mu.RUnlock()
 	if done {
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	if b == nil {
-		return fmt.Errorf("transport: send to unregistered endpoint %d", dst)
+		return nil, fmt.Errorf("transport: send to unregistered endpoint %d", dst)
+	}
+	return b, nil
+}
+
+func (f *ChannelFabric) send(dst EndpointID, data []byte) error {
+	b, err := f.box(dst)
+	if err != nil {
+		return err
 	}
 	return b.put(data)
+}
+
+func (f *ChannelFabric) sendBatch(dst EndpointID, frames [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	b, err := f.box(dst)
+	if err != nil {
+		return err
+	}
+	return b.putBatch(frames)
 }
 
 type channelTransport struct {
@@ -242,6 +325,11 @@ func (t *channelTransport) Register(id EndpointID) (Endpoint, error) {
 // Send implements Transport.
 func (t *channelTransport) Send(dst EndpointID, data []byte) error {
 	return t.fabric.send(dst, data)
+}
+
+// SendBatch implements Transport.
+func (t *channelTransport) SendBatch(dst EndpointID, frames [][]byte) error {
+	return t.fabric.sendBatch(dst, frames)
 }
 
 // Close implements Transport. Closing any process handle closes the whole

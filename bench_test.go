@@ -89,7 +89,7 @@ func BenchmarkFig7ClockSkew(b *testing.B) {
 // (the spike the paper calls out).
 func BenchmarkFig8MissRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8(experiments.Quick, []string{"radix", "lu_cont"}, []int{64, 256})
+		res, err := experiments.Fig8(experiments.Quick, []string{"radix", "lu_cont"}, []int{64, 256}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func BenchmarkFig8MissRates(b *testing.B) {
 // the four directory schemes.
 func BenchmarkFig9Coherence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9(experiments.Quick, []int{1, 8})
+		res, err := experiments.Fig9(experiments.Quick, []int{1, 8}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -80,8 +80,13 @@ func main() {
 		baseline = flag.String("baseline", "", "prior report to embed and diff against")
 		reps     = flag.Int("reps", 3, "repetitions per bench (means are reported)")
 		label    = flag.String("label", "", "free-form label recorded in the report")
+		check    = flag.Float64("check", 0, "with -baseline: exit nonzero if wall time or allocs/op regress beyond this percentage (the CI bench-regression gate)")
 	)
 	flag.Parse()
+	if *check < 0 || (*check > 0 && *baseline == "") {
+		fmt.Fprintln(os.Stderr, "graphite-bench: -check needs a positive tolerance and -baseline")
+		os.Exit(2)
+	}
 
 	// Read the baseline before spending a minute on benches, so a bad
 	// path fails immediately.
@@ -146,6 +151,45 @@ func main() {
 	}
 	printSummary(rep)
 	fmt.Printf("wrote %s\n", *out)
+
+	// The regression gate runs after the report is on disk so CI can
+	// upload it as an artifact even when the gate fails.
+	if *check > 0 {
+		// Wall time only compares within one host shape (reports are
+		// host-specific); allocs/op is deterministic and always gated.
+		wallComparable := base.GOOS == rep.GOOS && base.GOARCH == rep.GOARCH &&
+			base.HostCPUs == rep.HostCPUs
+		if !wallComparable {
+			fmt.Fprintf(os.Stderr, "note: baseline host (%s/%s, %d cpus) differs from this host (%s/%s, %d cpus); gating allocs/op only\n",
+				base.GOOS, base.GOARCH, base.HostCPUs, rep.GOOS, rep.GOARCH, rep.HostCPUs)
+		}
+		if bad := regressions(rep.Deltas, *check, wallComparable); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", msg)
+			}
+			fmt.Fprintf(os.Stderr, "graphite-bench: %d bench(es) regressed beyond ±%.0f%% of baseline %s\n",
+				len(bad), *check, *baseline)
+			os.Exit(1)
+		}
+		fmt.Printf("bench-regression: PASS (all deltas within ±%.0f%% of %s)\n", *check, *baseline)
+	}
+}
+
+// regressions lists benches whose wall time or allocations grew beyond
+// the tolerance. Improvements (negative deltas) never fail the gate;
+// wall time is only judged when the baseline came from a comparable
+// host (wall-clock numbers do not transfer across machines).
+func regressions(deltas []Delta, tolerancePct float64, wallComparable bool) []string {
+	var bad []string
+	for _, d := range deltas {
+		if wallComparable && d.WallPct > tolerancePct {
+			bad = append(bad, fmt.Sprintf("%s: wall time %+.1f%% (tolerance %.0f%%)", d.Name, d.WallPct, tolerancePct))
+		}
+		if d.AllocsPct > tolerancePct {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %+.1f%% (tolerance %.0f%%)", d.Name, d.AllocsPct, tolerancePct))
+		}
+	}
+	return bad
 }
 
 // measure runs fn reps times and fills the wall-time and allocation fields.

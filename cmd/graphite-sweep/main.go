@@ -1,8 +1,14 @@
-// Command graphite-sweep regenerates the tables and figures of the paper's
-// evaluation section (§4). Each -exp selects one experiment; -preset
-// scales problem sizes.
+// Command graphite-sweep runs design-space sweeps. It has two modes:
 //
-// Usage:
+// Scenario mode executes a declarative scenario file (see README,
+// "Scenario files") on a host-parallel worker pool and writes one JSONL
+// record per run:
+//
+//	graphite-sweep -scenario examples/scenarios/line-size-sweep.json -parallel 4 -out r.jsonl
+//
+// Experiment mode regenerates the tables and figures of the paper's
+// evaluation section (§4). Each -exp selects one experiment from the
+// registry; -preset scales problem sizes:
 //
 //	graphite-sweep -exp table2 -preset quick
 //	graphite-sweep -exp fig9 -preset standard
@@ -16,30 +22,44 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|fig4|table2|fig5|table3|fig7|fig8|fig9|all")
-		preset = flag.String("preset", "quick", "size preset: quick|standard|full")
-		runs   = flag.Int("runs", 0, "repetitions for table3 (default: preset-dependent)")
-		benchs = flag.String("benchmarks", "", "comma-separated benchmark subset")
-		sizes  = flag.String("sizes", "", "comma-separated int list (line sizes, tile counts, machine counts)")
+		scenarioPath = flag.String("scenario", "", "scenario file to run (overrides -exp)")
+		parallel     = flag.Int("parallel", 0, "worker pool size for scenario runs (0 = host CPUs)")
+		out          = flag.String("out", "", "JSONL output path for -scenario (default: stdout)")
+		exp          = flag.String("exp", "all", "experiment: "+experiments.FlagUsage())
+		preset       = flag.String("preset", "quick", "size preset: quick|standard|full")
+		runs         = flag.Int("runs", 0, "repetitions for table3 (default: preset-dependent)")
+		benchs       = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		sizes        = flag.String("sizes", "", "comma-separated int list (line sizes, tile counts, machine counts)")
 	)
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		if err := runScenario(*scenarioPath, *parallel, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	pr, err := experiments.ParsePreset(*preset)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var benchmarks []string
-	if *benchs != "" {
-		benchmarks = strings.Split(*benchs, ",")
+	opts := experiments.Options{
+		Preset:   pr,
+		Runs:     *runs,
+		Parallel: *parallel,
 	}
-	var ints []int
+	if *benchs != "" {
+		opts.Benchmarks = strings.Split(*benchs, ",")
+	}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -47,66 +67,57 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			ints = append(ints, v)
+			opts.Sizes = append(opts.Sizes, v)
 		}
 	}
 
 	runOne := func(name string) {
-		fmt.Printf("==== %s (%s preset) ====\n", name, *preset)
-		var err error
-		switch name {
-		case "table1":
-			experiments.Table1(os.Stdout, config.Default())
-		case "fig4":
-			var r *experiments.Fig4Result
-			if r, err = experiments.Fig4(pr, benchmarks, ints); err == nil {
-				r.Print(os.Stdout)
-			}
-		case "table2":
-			var r *experiments.Table2Result
-			if r, err = experiments.Table2(pr, benchmarks); err == nil {
-				r.Print(os.Stdout)
-			}
-		case "fig5":
-			var r *experiments.Fig5Result
-			if r, err = experiments.Fig5(pr, ints); err == nil {
-				r.Print(os.Stdout)
-			}
-		case "table3", "fig6":
-			var r *experiments.Table3Result
-			if r, err = experiments.Table3(pr, benchmarks, *runs); err == nil {
-				r.Print(os.Stdout)
-			}
-		case "fig7":
-			var r *experiments.Fig7Result
-			if r, err = experiments.Fig7(pr); err == nil {
-				r.Print(os.Stdout)
-			}
-		case "fig8":
-			var r *experiments.Fig8Result
-			if r, err = experiments.Fig8(pr, benchmarks, ints); err == nil {
-				r.Print(os.Stdout)
-			}
-		case "fig9":
-			var r *experiments.Fig9Result
-			if r, err = experiments.Fig9(pr, ints); err == nil {
-				r.Print(os.Stdout)
-			}
-		default:
-			err = fmt.Errorf("unknown experiment %q", name)
-		}
-		if err != nil {
+		fmt.Printf("==== %s (%s preset) ====\n", name, pr)
+		if err := experiments.RunByName(name, os.Stdout, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
-
 	if *exp == "all" {
-		for _, e := range []string{"table1", "fig4", "table2", "fig5", "table3", "fig7", "fig8", "fig9"} {
-			runOne(e)
+		for _, e := range experiments.Registry() {
+			runOne(e.Name)
 		}
 		return
 	}
 	runOne(*exp)
+}
+
+// runScenario loads, expands, executes, and reports one scenario file.
+func runScenario(path string, parallel int, out string) error {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	specs, err := sc.Expand()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scenario %s: %d runs (%d grids)\n", sc.Name, len(specs), len(sc.Grids))
+
+	// Create the output file before the sweep so a bad path fails in
+	// seconds, not after hours of simulation.
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	records, runErr := scenario.RunExpanded(sc, specs, scenario.Options{Parallel: parallel, Progress: os.Stderr})
+	if err := scenario.WriteJSONL(w, records); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(records), out)
+	}
+	return runErr
 }

@@ -9,6 +9,7 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/arch"
 )
@@ -41,6 +42,21 @@ func (m SyncModel) String() string {
 		return "LaxP2P"
 	default:
 		return fmt.Sprintf("SyncModel(%d)", int(m))
+	}
+}
+
+// ParseSyncModel converts a scenario-file spelling ("lax", "lax_barrier",
+// "lax_p2p", or the String() forms) into a SyncModel.
+func ParseSyncModel(s string) (SyncModel, error) {
+	switch normalize(s) {
+	case "lax":
+		return Lax, nil
+	case "laxbarrier", "lax_barrier":
+		return LaxBarrier, nil
+	case "laxp2p", "lax_p2p":
+		return LaxP2P, nil
+	default:
+		return Lax, fmt.Errorf("unknown sync model %q (lax|lax_barrier|lax_p2p)", s)
 	}
 }
 
@@ -82,6 +98,23 @@ func (k NetworkModelKind) String() string {
 	}
 }
 
+// ParseNetworkModelKind converts a scenario-file spelling (the String()
+// forms) into a NetworkModelKind.
+func ParseNetworkModelKind(s string) (NetworkModelKind, error) {
+	switch normalize(s) {
+	case "magic":
+		return NetMagic, nil
+	case "mesh_hop", "meshhop":
+		return NetMeshHop, nil
+	case "mesh_contention", "meshcontention":
+		return NetMeshContention, nil
+	case "ring":
+		return NetRing, nil
+	default:
+		return NetMagic, fmt.Errorf("unknown network model %q (magic|mesh_hop|mesh_contention|ring)", s)
+	}
+}
+
 // CoherenceKind selects the directory-based cache coherence protocol
 // (paper §3.2 and §4.4).
 type CoherenceKind int
@@ -113,6 +146,21 @@ func (k CoherenceKind) String() string {
 	}
 }
 
+// ParseCoherenceKind converts a scenario-file spelling (the String()
+// forms) into a CoherenceKind.
+func ParseCoherenceKind(s string) (CoherenceKind, error) {
+	switch normalize(s) {
+	case "full_map", "fullmap":
+		return FullMap, nil
+	case "dir_nb", "dirnb", "limited_nb", "limitednb":
+		return LimitedNB, nil
+	case "limitless":
+		return LimitLESS, nil
+	default:
+		return FullMap, fmt.Errorf("unknown coherence kind %q (full_map|dir_nb|limitless)", s)
+	}
+}
+
 // TransportKind selects the physical transport layer implementation
 // (paper §3.3.1).
 type TransportKind int
@@ -135,6 +183,19 @@ func (k TransportKind) String() string {
 		return "tcp"
 	default:
 		return fmt.Sprintf("TransportKind(%d)", int(k))
+	}
+}
+
+// ParseTransportKind converts a scenario-file spelling (the String()
+// forms) into a TransportKind.
+func ParseTransportKind(s string) (TransportKind, error) {
+	switch normalize(s) {
+	case "channel":
+		return TransportChannel, nil
+	case "tcp":
+		return TransportTCP, nil
+	default:
+		return TransportChannel, fmt.Errorf("unknown transport %q (channel|tcp)", s)
 	}
 }
 
@@ -284,6 +345,25 @@ func (k CoreModelKind) String() string {
 	default:
 		return fmt.Sprintf("CoreModelKind(%d)", int(k))
 	}
+}
+
+// ParseCoreModelKind converts a scenario-file spelling (the String()
+// forms) into a CoreModelKind.
+func ParseCoreModelKind(s string) (CoreModelKind, error) {
+	switch normalize(s) {
+	case "in-order", "in_order", "inorder":
+		return CoreInOrder, nil
+	case "out-of-order", "out_of_order", "outoforder", "ooo":
+		return CoreOutOfOrder, nil
+	default:
+		return CoreInOrder, fmt.Errorf("unknown core model %q (in-order|out-of-order)", s)
+	}
+}
+
+// normalize lower-cases a kind spelling so parsers accept both the
+// scenario-file convention (snake_case) and the String() forms.
+func normalize(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
 }
 
 // CoreConfig configures the core performance model.

@@ -159,3 +159,56 @@ func TestStringers(t *testing.T) {
 		t.Fatal("unknown enum produced empty string")
 	}
 }
+
+func TestParsers(t *testing.T) {
+	// Parsers accept both the scenario-file snake_case spellings and the
+	// String() forms, case-insensitively.
+	if m, err := ParseSyncModel("lax_barrier"); err != nil || m != LaxBarrier {
+		t.Fatalf("ParseSyncModel(lax_barrier) = %v, %v", m, err)
+	}
+	if m, err := ParseSyncModel("LaxP2P"); err != nil || m != LaxP2P {
+		t.Fatalf("ParseSyncModel(LaxP2P) = %v, %v", m, err)
+	}
+	if k, err := ParseNetworkModelKind("mesh_contention"); err != nil || k != NetMeshContention {
+		t.Fatalf("ParseNetworkModelKind = %v, %v", k, err)
+	}
+	if k, err := ParseCoherenceKind("dir_nb"); err != nil || k != LimitedNB {
+		t.Fatalf("ParseCoherenceKind = %v, %v", k, err)
+	}
+	if k, err := ParseCoherenceKind("LimitLESS"); err != nil || k != LimitLESS {
+		t.Fatalf("ParseCoherenceKind(LimitLESS) = %v, %v", k, err)
+	}
+	if k, err := ParseTransportKind("tcp"); err != nil || k != TransportTCP {
+		t.Fatalf("ParseTransportKind = %v, %v", k, err)
+	}
+	if k, err := ParseCoreModelKind("out-of-order"); err != nil || k != CoreOutOfOrder {
+		t.Fatalf("ParseCoreModelKind = %v, %v", k, err)
+	}
+	// Round trip: every String() form parses back to its value.
+	for _, m := range []SyncModel{Lax, LaxBarrier, LaxP2P} {
+		if got, err := ParseSyncModel(m.String()); err != nil || got != m {
+			t.Fatalf("round trip %v: %v, %v", m, got, err)
+		}
+	}
+	for _, k := range []NetworkModelKind{NetMagic, NetMeshHop, NetMeshContention, NetRing} {
+		if got, err := ParseNetworkModelKind(k.String()); err != nil || got != k {
+			t.Fatalf("round trip %v: %v, %v", k, got, err)
+		}
+	}
+	for _, k := range []CoherenceKind{FullMap, LimitedNB, LimitLESS} {
+		if got, err := ParseCoherenceKind(k.String()); err != nil || got != k {
+			t.Fatalf("round trip %v: %v, %v", k, got, err)
+		}
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := ParseSyncModel("chaotic"); return err },
+		func() error { _, err := ParseNetworkModelKind("torus"); return err },
+		func() error { _, err := ParseCoherenceKind("snooping"); return err },
+		func() error { _, err := ParseTransportKind("pigeon"); return err },
+		func() error { _, err := ParseCoreModelKind("vliw"); return err },
+	} {
+		if bad() == nil {
+			t.Fatal("invalid spelling accepted")
+		}
+	}
+}

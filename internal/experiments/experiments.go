@@ -14,15 +14,15 @@
 package experiments
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"time"
 
-	"repro/internal/arch"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/workloads"
 )
 
@@ -38,6 +38,18 @@ const (
 	Full
 )
 
+// String returns the flag/scenario spelling of the preset.
+func (p Preset) String() string {
+	switch p {
+	case Quick:
+		return "quick"
+	case Standard:
+		return "standard"
+	default:
+		return "full"
+	}
+}
+
 // ParsePreset converts a flag value.
 func ParsePreset(s string) (Preset, error) {
 	switch s {
@@ -52,44 +64,26 @@ func ParsePreset(s string) (Preset, error) {
 	}
 }
 
-// scaleFor returns the workload Scale for a preset.
+// scaleFor returns the workload Scale for a preset. The tables live in
+// the workloads package so scenarios resolve the same sizes.
 func scaleFor(name string, pr Preset) int {
-	w, ok := workloads.Get(name)
-	if !ok {
-		panic("experiments: unknown workload " + name)
+	s, err := workloads.ScaleFor(name, pr.String())
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	switch pr {
-	case Quick:
-		quick := map[string]int{
-			"fft": 8, "lu_cont": 24, "lu_non_cont": 24,
-			"ocean_cont": 24, "ocean_non_cont": 24, "radix": 9,
-			"cholesky": 20, "fmm": 64, "water_nsquared": 32,
-			"water_spatial": 48, "barnes": 48, "matmul": 16,
-			"blackscholes": 8,
-		}
-		return quick[name]
-	case Standard:
-		return w.DefaultScale
-	default:
-		full := map[string]int{
-			"fft": 12, "lu_cont": 128, "lu_non_cont": 128,
-			"ocean_cont": 128, "ocean_non_cont": 128, "radix": 14,
-			"cholesky": 96, "fmm": 512, "water_nsquared": 192,
-			"water_spatial": 256, "barnes": 256, "matmul": 96,
-			"blackscholes": 13,
-		}
-		return full[name]
-	}
+	return s
 }
 
 // baseConfig is the Table 1 target scaled to simulation-friendly cache
-// sizes (per-tile cache metadata is host memory; see DESIGN.md).
+// sizes (per-tile cache metadata is host memory; see DESIGN.md). It is
+// the scenario preset "small-cache", so bespoke experiments and scenario
+// definitions agree on the base target.
 func baseConfig(tiles int) config.Config {
-	cfg := config.Default()
+	cfg, err := scenario.Preset("small-cache")
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
 	cfg.Tiles = tiles
-	cfg.L1I = config.CacheConfig{Enabled: false}
-	cfg.L1D = config.CacheConfig{Enabled: true, Size: 16 << 10, Assoc: 8, LineSize: 64, HitLatency: 1}
-	cfg.L2 = config.CacheConfig{Enabled: true, Size: 256 << 10, Assoc: 8, LineSize: 64, HitLatency: 8}
 	return cfg
 }
 
@@ -98,28 +92,23 @@ func baseConfig(tiles int) config.Config {
 // workload's region-of-interest time (the parallel region ending at the
 // final join) when the workload recorded one — the standard SPLASH/PARSEC
 // measurement; the raw total remains available as the max tile clock.
+// Execution and result readback are scenario.ExecuteStats, the same path
+// the sweep runner uses, so bespoke experiments and scenarios cannot
+// disagree on the result ABI.
 func runOnce(name string, threads int, scale int, cfg config.Config) (*core.RunStats, float64, error) {
-	w, ok := workloads.Get(name)
-	if !ok {
-		return nil, 0, fmt.Errorf("unknown workload %q", name)
+	spec := scenario.RunSpec{
+		Scenario: "bespoke",
+		Workload: name,
+		Threads:  threads,
+		Scale:    scale,
+		Seed:     cfg.RandSeed,
+		Config:   cfg,
 	}
-	p := workloads.Params{Threads: threads, Scale: scale}
-	cl, err := core.NewCluster(cfg, w.Build(p))
-	if err != nil {
-		return nil, 0, err
+	rec, rs := scenario.ExecuteStats(&spec)
+	if rec.Error != "" {
+		return nil, 0, errors.New(rec.Error)
 	}
-	defer cl.Close()
-	rs, err := cl.Run(0)
-	if err != nil {
-		return nil, 0, err
-	}
-	var buf [16]byte
-	cl.Peek(workloads.DefaultResultAddr, buf[:])
-	sum := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8]))
-	if roi := arch.Cycles(binary.LittleEndian.Uint64(buf[8:16])); roi > 0 {
-		rs.SimulatedCycles = roi
-	}
-	return rs, sum, nil
+	return rs, rec.Checksum, nil
 }
 
 // nativeTime measures the wall-clock time of the native variant, repeated

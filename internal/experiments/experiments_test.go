@@ -168,7 +168,7 @@ func TestFig7Quick(t *testing.T) {
 }
 
 func TestFig8Quick(t *testing.T) {
-	res, err := Fig8(Quick, []string{"lu_cont", "radix"}, []int{32, 256})
+	res, err := Fig8(Quick, []string{"lu_cont", "radix"}, []int{32, 256}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestFig8Quick(t *testing.T) {
 }
 
 func TestFig9Quick(t *testing.T) {
-	res, err := Fig9(Quick, []int{1, 4})
+	res, err := Fig9(Quick, []int{1, 4}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"io"
 	"runtime"
+
+	"repro/internal/scenario"
 )
 
 // Fig4Point is one (benchmark, host cores) measurement.
@@ -20,10 +22,36 @@ type Fig4Result struct {
 	Points      []Fig4Point
 }
 
-// Fig4 runs the scaling study. benchmarks defaults to a representative
-// SPLASH subset; hostCores defaults to {1, 2, 4, ...} up to the machine's
-// CPU count (the paper scales 1..64 across 8 machines — the curve is
-// truncated by the host running this reproduction).
+// Fig4Scenario expresses the host-core scaling study declaratively: one
+// grid per benchmark, sweeping Config.Workers. The runner forces such
+// scenarios serial (GOMAXPROCS is process-global), which Figure 4 needs
+// anyway: its measurement is wall-clock time under a controlled core
+// budget.
+func Fig4Scenario(pr Preset, benchmarks []string, hostCores []int, tiles int) *scenario.Scenario {
+	sc := &scenario.Scenario{
+		Name:   "fig4",
+		Preset: "small-cache",
+		Size:   pr.String(),
+		Base:   map[string]any{"Tiles": tiles},
+	}
+	vals := make([]any, len(hostCores))
+	for i, hc := range hostCores {
+		vals[i] = hc
+	}
+	for _, b := range benchmarks {
+		sc.Grids = append(sc.Grids, scenario.Grid{
+			Workload: b,
+			Axes:     []scenario.Axis{{Field: "Workers", Values: vals}},
+		})
+	}
+	return sc
+}
+
+// Fig4 runs the scaling study through the shared scenario runner.
+// benchmarks defaults to a representative SPLASH subset; hostCores
+// defaults to {1, 2, 4, ...} up to the machine's CPU count (the paper
+// scales 1..64 across 8 machines — the curve is truncated by the host
+// running this reproduction).
 func Fig4(pr Preset, benchmarks []string, hostCores []int) (*Fig4Result, error) {
 	if len(benchmarks) == 0 {
 		benchmarks = []string{"fmm", "ocean_cont", "radix", "water_spatial"}
@@ -34,32 +62,25 @@ func Fig4(pr Preset, benchmarks []string, hostCores []int) (*Fig4Result, error) 
 		}
 	}
 	tiles := 32
-	threads := 32
 	if pr == Quick {
-		tiles, threads = 8, 8
+		tiles = 8
+	}
+	records, err := scenario.Run(Fig4Scenario(pr, benchmarks, hostCores, tiles), scenario.Options{})
+	if err != nil {
+		return nil, err
 	}
 	res := &Fig4Result{TargetTiles: tiles}
-	for _, b := range benchmarks {
-		scale := scaleFor(b, pr)
-		base := 0.0
-		for _, hc := range hostCores {
-			cfg := baseConfig(tiles)
-			cfg.Workers = hc
-			rs, _, err := runOnce(b, threads, scale, cfg)
-			if err != nil {
-				return nil, err
-			}
-			wall := rs.Wall.Seconds()
-			if base == 0 {
-				base = wall
-			}
-			res.Points = append(res.Points, Fig4Point{
-				Benchmark: b,
-				HostCores: hc,
-				WallSec:   wall,
-				Speedup:   base / wall,
-			})
+	base := 0.0
+	for i, r := range records {
+		if r.Point == 0 {
+			base = r.WallSec
 		}
+		res.Points = append(res.Points, Fig4Point{
+			Benchmark: r.Workload,
+			HostCores: hostCores[i%len(hostCores)],
+			WallSec:   r.WallSec,
+			Speedup:   base / r.WallSec,
+		})
 	}
 	return res, nil
 }

@@ -3,7 +3,7 @@ package experiments
 import (
 	"io"
 
-	"repro/internal/config"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -27,8 +27,37 @@ type Fig8Result struct {
 	LineSizes []int
 }
 
-// Fig8 runs the miss-rate characterization.
-func Fig8(pr Preset, benchmarks []string, lineSizes []int) (*Fig8Result, error) {
+// Fig8Scenario expresses the miss-rate characterization declaratively:
+// the §4.4 memory system (preset "l2-only") with a single grid sweeping
+// benchmark × line size. Runs are independent and the metric is
+// simulated (miss counters, not wall time), so the runner executes them
+// host-parallel.
+func Fig8Scenario(pr Preset, benchmarks []string, lineSizes []int, tiles, l2Size int) *scenario.Scenario {
+	wl := make([]any, len(benchmarks))
+	for i, b := range benchmarks {
+		wl[i] = b
+	}
+	ls := make([]any, len(lineSizes))
+	for i, v := range lineSizes {
+		ls[i] = v
+	}
+	return &scenario.Scenario{
+		Name:   "fig8",
+		Preset: "l2-only",
+		Size:   pr.String(),
+		Base:   map[string]any{"Tiles": tiles, "L2.Size": l2Size},
+		Grids: []scenario.Grid{{
+			Axes: []scenario.Axis{
+				{Field: "workload", Values: wl},
+				{Field: "L2.LineSize", Values: ls},
+			},
+		}},
+	}
+}
+
+// Fig8 runs the miss-rate characterization through the shared scenario
+// runner; parallel bounds the worker pool (0 = host CPUs).
+func Fig8(pr Preset, benchmarks []string, lineSizes []int, parallel int) (*Fig8Result, error) {
 	if len(benchmarks) == 0 {
 		// The six benchmarks of Figure 8.
 		benchmarks = []string{"lu_cont", "water_spatial", "radix", "barnes", "fft", "ocean_cont"}
@@ -36,37 +65,30 @@ func Fig8(pr Preset, benchmarks []string, lineSizes []int) (*Fig8Result, error) 
 	if len(lineSizes) == 0 {
 		lineSizes = []int{16, 32, 64, 128, 256}
 	}
-	tiles, threads := 32, 32
+	tiles := 32
 	l2Size := 1 << 20
 	if pr == Quick {
-		tiles, threads = 8, 8
+		tiles = 8
 		l2Size = 64 << 10
 	}
+	sc := Fig8Scenario(pr, benchmarks, lineSizes, tiles, l2Size)
+	records, err := scenario.Run(sc, scenario.Options{Parallel: parallel})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig8Result{LineSizes: lineSizes}
-	for _, b := range benchmarks {
-		scale := scaleFor(b, pr)
-		for _, ls := range lineSizes {
-			cfg := baseConfig(tiles)
-			// §4.4 memory system: no L1s, one cache level.
-			cfg.L1I = config.CacheConfig{Enabled: false}
-			cfg.L1D = config.CacheConfig{Enabled: false}
-			cfg.L2 = config.CacheConfig{Enabled: true, Size: l2Size, Assoc: 4, LineSize: ls, HitLatency: 8}
-			rs, _, err := runOnce(b, threads, scale, cfg)
-			if err != nil {
-				return nil, err
-			}
-			refs := float64(rs.Totals.Loads + rs.Totals.Stores)
-			if refs == 0 {
-				refs = 1
-			}
-			pt := Fig8Point{Benchmark: b, LineSize: ls}
-			for k := stats.MissKind(0); k < stats.NumMissKinds; k++ {
-				pt.Rates[k] = float64(rs.Totals.MissBy[k]) / refs
-				pt.Total += pt.Rates[k]
-			}
-			pt.Upgrades = float64(rs.Totals.Upgrades) / refs
-			res.Points = append(res.Points, pt)
+	for i, r := range records {
+		refs := float64(r.Stats.Loads + r.Stats.Stores)
+		if refs == 0 {
+			refs = 1
 		}
+		pt := Fig8Point{Benchmark: r.Workload, LineSize: lineSizes[i%len(lineSizes)]}
+		for k := stats.MissKind(0); k < stats.NumMissKinds; k++ {
+			pt.Rates[k] = float64(r.Stats.MissBy[k]) / refs
+			pt.Total += pt.Rates[k]
+		}
+		pt.Upgrades = float64(r.Stats.Upgrades) / refs
+		res.Points = append(res.Points, pt)
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/config"
+	"repro/internal/scenario"
 )
 
 // Fig9Scheme names one coherence configuration of the study.
@@ -46,8 +47,38 @@ func Fig9Schemes() []Fig9Scheme {
 	}
 }
 
-// Fig9 runs the coherence study.
-func Fig9(pr Preset, tileCounts []int) (*Fig9Result, error) {
+// Fig9Scenario expresses the coherence study declaratively: one grid per
+// directory scheme (the scheme is a pair of config fields, set as grid
+// base overrides), each sweeping the target tile count. The metric is
+// simulated cycles, so the runner executes the grid host-parallel.
+func Fig9Scenario(pr Preset, tileCounts []int) *scenario.Scenario {
+	tc := make([]any, len(tileCounts))
+	for i, t := range tileCounts {
+		tc[i] = t
+	}
+	sc := &scenario.Scenario{
+		Name:     "fig9",
+		Preset:   "small-cache",
+		Size:     pr.String(),
+		Workload: "blackscholes",
+	}
+	for _, sch := range Fig9Schemes() {
+		sc.Grids = append(sc.Grids, scenario.Grid{
+			Base: map[string]any{
+				"Coherence.Kind":        int(sch.Kind),
+				"Coherence.DirPointers": sch.Ptrs,
+				"Coherence.TrapLatency": 100,
+				"Coherence.DirLatency":  10,
+			},
+			Axes: []scenario.Axis{{Field: "Tiles", Values: tc}},
+		})
+	}
+	return sc
+}
+
+// Fig9 runs the coherence study through the shared scenario runner;
+// parallel bounds the worker pool (0 = host CPUs).
+func Fig9(pr Preset, tileCounts []int, parallel int) (*Fig9Result, error) {
 	if len(tileCounts) == 0 {
 		switch pr {
 		case Quick:
@@ -58,35 +89,26 @@ func Fig9(pr Preset, tileCounts []int) (*Fig9Result, error) {
 			tileCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 		}
 	}
-	scale := scaleFor("blackscholes", pr)
+	records, err := scenario.Run(Fig9Scenario(pr, tileCounts), scenario.Options{Parallel: parallel})
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	schemes := Fig9Schemes()
 	res := &Fig9Result{}
-	for _, sch := range Fig9Schemes() {
-		base := arch.Cycles(0)
-		for _, tiles := range tileCounts {
-			cfg := baseConfig(tiles)
-			cfg.Coherence = config.CoherenceConfig{
-				Kind:        sch.Kind,
-				DirPointers: sch.Ptrs,
-				TrapLatency: 100,
-				DirLatency:  10,
-			}
-			rs, _, err := runOnce("blackscholes", tiles, scale, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s/%d tiles: %w", sch.Label, tiles, err)
-			}
-			if base == 0 {
-				base = rs.SimulatedCycles
-			}
-			res.Points = append(res.Points, Fig9Point{
-				Scheme:        sch.Label,
-				Tiles:         tiles,
-				SimCycles:     rs.SimulatedCycles,
-				Speedup:       float64(base) / float64(rs.SimulatedCycles),
-				AvgMemLatency: rs.Totals.AvgMemLatency(),
-				DirTraps:      rs.Totals.DirTraps,
-				Invalidations: rs.Totals.InvSent,
-			})
+	base := arch.Cycles(0)
+	for _, r := range records {
+		if r.Point == 0 {
+			base = arch.Cycles(r.SimCycles)
 		}
+		res.Points = append(res.Points, Fig9Point{
+			Scheme:        schemes[r.Grid].Label,
+			Tiles:         tileCounts[r.Point],
+			SimCycles:     arch.Cycles(r.SimCycles),
+			Speedup:       float64(base) / float64(r.SimCycles),
+			AvgMemLatency: r.Stats.AvgMemLatency(),
+			DirTraps:      r.Stats.DirTraps,
+			Invalidations: r.Stats.InvSent,
+		})
 	}
 	return res, nil
 }

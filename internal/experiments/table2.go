@@ -4,6 +4,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/scenario"
 	"repro/internal/workloads"
 )
 
@@ -27,7 +28,29 @@ type Table2Result struct {
 	TargetTiles, Processes int
 }
 
-// Table2 runs the slowdown study over the SPLASH suite.
+// Table2Scenario expresses the slowdown study declaratively: one grid
+// per benchmark, sweeping the host process count. It runs Serial because
+// the measurement is wall-clock time.
+func Table2Scenario(pr Preset, benchmarks []string, tiles, procs int) *scenario.Scenario {
+	sc := &scenario.Scenario{
+		Name:   "table2",
+		Preset: "small-cache",
+		Size:   pr.String(),
+		Base:   map[string]any{"Tiles": tiles},
+		Serial: true,
+		Verify: true,
+	}
+	for _, b := range benchmarks {
+		sc.Grids = append(sc.Grids, scenario.Grid{
+			Workload: b,
+			Axes:     []scenario.Axis{{Field: "Processes", Values: []any{1, procs}}},
+		})
+	}
+	return sc
+}
+
+// Table2 runs the slowdown study over the SPLASH suite through the
+// shared scenario runner.
 func Table2(pr Preset, benchmarks []string) (*Table2Result, error) {
 	if len(benchmarks) == 0 {
 		benchmarks = workloads.SplashNames()
@@ -36,33 +59,23 @@ func Table2(pr Preset, benchmarks []string) (*Table2Result, error) {
 	if pr == Quick {
 		tiles, threads, procs = 8, 8, 4
 	}
+	records, err := scenario.Run(Table2Scenario(pr, benchmarks, tiles, procs), scenario.Options{})
+	if err != nil {
+		return nil, err
+	}
 	res := &Table2Result{TargetTiles: tiles, Processes: procs}
-	for _, b := range benchmarks {
-		scale := scaleFor(b, pr)
-		p := workloads.Params{Threads: threads, Scale: scale}
-		native := nativeTime(b, p).Seconds()
-		w, _ := workloads.Get(b)
-		want := w.Native(p)
-
-		cfg1 := baseConfig(tiles)
-		rs1, sum1, err := runOnce(b, threads, scale, cfg1)
-		if err != nil {
-			return nil, err
-		}
-		cfgN := baseConfig(tiles)
-		cfgN.Processes = procs
-		rsN, sumN, err := runOnce(b, threads, scale, cfgN)
-		if err != nil {
-			return nil, err
-		}
+	// Records arrive grid-ordered: per benchmark, procs=1 then procs=N.
+	for i, b := range benchmarks {
+		r1, rN := &records[2*i], &records[2*i+1]
+		native := nativeTime(b, workloads.Params{Threads: threads, Scale: r1.Scale}).Seconds()
 		res.Rows = append(res.Rows, Table2Row{
 			Benchmark:  b,
 			NativeSec:  native,
-			Sim1Sec:    rs1.Wall.Seconds(),
-			Slowdown1:  rs1.Wall.Seconds() / native,
-			Sim8Sec:    rsN.Wall.Seconds(),
-			Slowdown8:  rsN.Wall.Seconds() / native,
-			ChecksumOK: workloads.Close(sum1, want) && workloads.Close(sumN, want),
+			Sim1Sec:    r1.WallSec,
+			Slowdown1:  r1.WallSec / native,
+			Sim8Sec:    rN.WallSec,
+			Slowdown8:  rN.WallSec / native,
+			ChecksumOK: r1.ChecksumOK != nil && *r1.ChecksumOK && rN.ChecksumOK != nil && *rN.ChecksumOK,
 		})
 	}
 	var s1, s8 []float64

@@ -1,0 +1,298 @@
+// The scenario runner: executes expanded RunSpecs on a host-parallel
+// worker pool. Each run is fully isolated — it builds its own Cluster
+// (transports, memory system, MCP), so concurrent runs share no mutable
+// simulator state and a run's statistics are unaffected by what else the
+// pool is doing. Wall-clock time is the only host-dependent field; it is
+// recorded but excluded from reproducibility comparisons (see DESIGN.md).
+package scenario
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// RecordSchema identifies the JSONL record format.
+const RecordSchema = "graphite-scenario/v1"
+
+// Record is one run's result — one line of the output JSONL file.
+type Record struct {
+	Schema   string `json:"schema"`
+	Scenario string `json:"scenario"`
+	Run      int    `json:"run"`
+	Grid     int    `json:"grid"`
+	Point    int    `json:"point"`
+	Repeat   int    `json:"repeat"`
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+	Scale    int    `json:"scale"`
+	Seed     int64  `json:"seed"`
+	// Axes holds this point's swept values, keyed by axis field.
+	Axes map[string]any `json:"axes,omitempty"`
+	// ConfigDigest is the SHA-256 of the run's full configuration.
+	ConfigDigest string `json:"config_digest"`
+	// SimCycles is the simulated application run-time (the workload's
+	// region of interest when it records one, else the max tile clock).
+	SimCycles uint64 `json:"sim_cycles"`
+	// Checksum is the workload's result checksum read back from simulated
+	// memory; ChecksumOK compares it against the native variant when the
+	// scenario sets Verify.
+	Checksum   float64 `json:"checksum"`
+	ChecksumOK *bool   `json:"checksum_ok,omitempty"`
+	// Stats aggregates the per-tile counters (deterministic for a given
+	// seed when the run has one application thread; see DESIGN.md).
+	Stats stats.Totals `json:"stats"`
+	// MissByName is the classified-miss breakdown keyed by kind name —
+	// the reader-friendly companion of Stats' positional miss_by array.
+	MissByName map[string]uint64 `json:"miss_by_name,omitempty"`
+	// Tiles holds the per-tile records when the scenario sets TileStats.
+	Tiles []stats.Tile `json:"tiles,omitempty"`
+	// WallSec is host wall-clock time — never deterministic.
+	WallSec float64 `json:"wall_sec"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// Options configures a runner invocation.
+type Options struct {
+	// Parallel bounds the worker pool; 0 means one worker per host CPU.
+	// Forced to 1 when the scenario is Serial or any run sets
+	// Config.Workers (GOMAXPROCS is process-global, so such runs cannot
+	// share the host).
+	Parallel int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Run expands the scenario and executes every run on the worker pool.
+// The returned records are ordered by run index regardless of completion
+// order. The error joins all per-run failures (each failed run also
+// carries its message in Record.Error); records of successful runs are
+// valid even when err != nil.
+func Run(s *Scenario, opt Options) ([]Record, error) {
+	specs, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return RunExpanded(s, specs, opt)
+}
+
+// RunExpanded executes specs previously produced by s.Expand(), for
+// callers that inspect the expansion (count it, log it) before running.
+func RunExpanded(s *Scenario, specs []RunSpec, opt Options) ([]Record, error) {
+	records, err := RunSpecs(specs, serialScenario(s, specs), opt)
+	if s.Verify {
+		Verify(records)
+	}
+	return records, err
+}
+
+// serialScenario reports whether the scenario must run with one worker.
+func serialScenario(s *Scenario, specs []RunSpec) bool {
+	if s.Serial {
+		return true
+	}
+	for i := range specs {
+		if specs[i].Config.Workers > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSpecs executes pre-expanded specs (sharing Expand's spec layout)
+// with scenario-level options applied by the caller.
+func RunSpecs(specs []RunSpec, serial bool, opt Options) ([]Record, error) {
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if serial {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	records := make([]Record, len(specs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				records[i] = Execute(&specs[i])
+				if opt.Progress != nil {
+					progressMu.Lock()
+					done++
+					r := &records[i]
+					status := fmt.Sprintf("%d cycles", r.SimCycles)
+					if r.Error != "" {
+						status = "ERROR: " + r.Error
+					}
+					fmt.Fprintf(opt.Progress, "[%d/%d] run %d %s %s (%.3fs, %s)\n",
+						done, len(specs), r.Run, r.Workload, axesString(r.Axes), r.WallSec, status)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var errs []error
+	for i := range records {
+		if records[i].Error != "" {
+			errs = append(errs, fmt.Errorf("run %d (%s): %s", records[i].Run, records[i].Workload, records[i].Error))
+		}
+	}
+	return records, errors.Join(errs...)
+}
+
+// Execute runs one spec to completion, building and tearing down a
+// dedicated cluster. Failures are reported in Record.Error rather than
+// aborting: the rest of a sweep is usually still valuable.
+func Execute(spec *RunSpec) Record {
+	rec, _ := ExecuteStats(spec)
+	return rec
+}
+
+// ExecuteStats is Execute plus the raw RunStats, for callers that need
+// per-run data a Record does not carry (clock-skew samples, per-tile
+// records). It is the single owner of the workload result-readback ABI:
+// the checksum lives at DefaultResultAddr, the region-of-interest end
+// time 8 bytes after it, and the ROI (when recorded) replaces the
+// simulated cycle count in both the Record and the RunStats. rs is nil
+// when the record carries an error.
+func ExecuteStats(spec *RunSpec) (Record, *core.RunStats) {
+	rec := Record{
+		Schema:       RecordSchema,
+		Scenario:     spec.Scenario,
+		Run:          spec.Run,
+		Grid:         spec.Grid,
+		Point:        spec.Point,
+		Repeat:       spec.Repeat,
+		Workload:     spec.Workload,
+		Threads:      spec.Threads,
+		Scale:        spec.Scale,
+		Seed:         spec.Seed,
+		Axes:         spec.Axes,
+		ConfigDigest: Digest(&spec.Config),
+	}
+	w, ok := workloads.Get(spec.Workload)
+	if !ok {
+		rec.Error = fmt.Sprintf("unknown workload %q", spec.Workload)
+		return rec, nil
+	}
+	p := workloads.Params{Threads: spec.Threads, Scale: spec.Scale}
+	cl, err := core.NewCluster(spec.Config, w.Build(p))
+	if err != nil {
+		rec.Error = err.Error()
+		return rec, nil
+	}
+	defer cl.Close()
+	rs, err := cl.Run(0)
+	if err != nil {
+		rec.Error = err.Error()
+		return rec, nil
+	}
+	var buf [16]byte
+	cl.Peek(workloads.DefaultResultAddr, buf[:])
+	rec.Checksum = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8]))
+	if roi := arch.Cycles(binary.LittleEndian.Uint64(buf[8:16])); roi > 0 {
+		rs.SimulatedCycles = roi
+	}
+	rec.SimCycles = uint64(rs.SimulatedCycles)
+	rec.Stats = rs.Totals
+	rec.MissByName = rs.Totals.MissByName()
+	if spec.TileStats {
+		rec.Tiles = rs.Tiles
+	}
+	rec.WallSec = rs.Wall.Seconds()
+	return rec, rs
+}
+
+// Verify runs the native variants of each distinct (workload, threads,
+// scale) in records and fills ChecksumOK. It is called by Run when the
+// scenario sets Verify.
+func Verify(records []Record) {
+	type key struct {
+		w      string
+		th, sc int
+	}
+	native := map[key]float64{}
+	for i := range records {
+		r := &records[i]
+		if r.Error != "" {
+			continue
+		}
+		k := key{r.Workload, r.Threads, r.Scale}
+		want, ok := native[k]
+		if !ok {
+			w, found := workloads.Get(r.Workload)
+			if !found {
+				continue
+			}
+			want = w.Native(workloads.Params{Threads: r.Threads, Scale: r.Scale})
+			native[k] = want
+		}
+		ok2 := workloads.Close(r.Checksum, want)
+		r.ChecksumOK = &ok2
+	}
+}
+
+// WriteJSONL writes one compact JSON object per line. Field order and
+// formatting are fixed by the Record struct, so two runs of the same
+// scenario and seed produce byte-identical lines up to the wall_sec
+// field.
+func WriteJSONL(w io.Writer, records []Record) error {
+	enc := json.NewEncoder(w)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func axesString(axes map[string]any) string {
+	if len(axes) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(axes))
+	for _, k := range sortedKeys(axes) {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, axes[k]))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// detScenario is a small sweep whose runs are single-threaded, the
+// configuration class for which the simulator is fully deterministic
+// (no host-scheduling-dependent interleaving of application threads).
+func detScenario() *Scenario {
+	return &Scenario{
+		Name:     "det",
+		Preset:   "small-cache",
+		Workload: "radix",
+		Threads:  1,
+		Scale:    6,
+		Seed:     3,
+		Verify:   true,
+		Base:     map[string]any{"Tiles": 4},
+		Grids: []Grid{{
+			Axes: []Axis{{Field: "line_size", Values: []any{32, 64}}},
+		}},
+	}
+}
+
+// TestRunDeterminism is the reproducibility contract: two executions of
+// the same scenario and seed produce byte-identical JSONL stats fields.
+// Only wall_sec (host time) may differ.
+func TestRunDeterminism(t *testing.T) {
+	render := func(parallel int) string {
+		records, err := Run(detScenario(), Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range records {
+			records[i].WallSec = 0 // the one host-dependent field
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, records); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render(2)
+	second := render(2)
+	if first != second {
+		t.Fatalf("same scenario+seed produced different records\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	// The pool size must not change results either.
+	serial := render(1)
+	if first != serial {
+		t.Fatal("parallel and serial execution disagree")
+	}
+}
+
+func TestRunRecords(t *testing.T) {
+	s := detScenario()
+	records, err := Run(s, Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d, want 2", len(records))
+	}
+	for i, r := range records {
+		if r.Run != i {
+			t.Fatalf("record %d out of order (run=%d)", i, r.Run)
+		}
+		if r.Schema != RecordSchema || r.Scenario != "det" {
+			t.Fatalf("record header wrong: %+v", r)
+		}
+		if r.SimCycles == 0 || r.Stats.Instructions == 0 {
+			t.Fatalf("record %d has no results", i)
+		}
+		if r.ConfigDigest == "" {
+			t.Fatal("missing config digest")
+		}
+		if r.ChecksumOK == nil || !*r.ChecksumOK {
+			t.Fatalf("record %d checksum not verified against native", i)
+		}
+		if r.Error != "" {
+			t.Fatalf("record %d error: %s", i, r.Error)
+		}
+	}
+	if records[0].ConfigDigest == records[1].ConfigDigest {
+		t.Fatal("different configs share a digest")
+	}
+}
+
+func TestExecuteReportsErrors(t *testing.T) {
+	spec := RunSpec{Scenario: "x", Workload: "does-not-exist", Threads: 1, Scale: 1}
+	rec := Execute(&spec)
+	if rec.Error == "" || !strings.Contains(rec.Error, "does-not-exist") {
+		t.Fatalf("error not recorded: %+v", rec)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	records, err := Run(detScenario(), Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(records) {
+		t.Fatalf("JSONL lines = %d, want %d", got, len(records))
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip lost records: %d != %d", len(back), len(records))
+	}
+	if back[0].Stats != records[0].Stats {
+		t.Fatal("stats did not round-trip")
+	}
+	if back[1].SimCycles != records[1].SimCycles || back[1].Checksum != records[1].Checksum {
+		t.Fatal("results did not round-trip")
+	}
+}
+
+// TestSerialForcedByWorkers: runs that pin GOMAXPROCS may not share the
+// host, so the runner must fall back to one worker.
+func TestSerialForcedByWorkers(t *testing.T) {
+	s := detScenario()
+	s.Grids[0].Base = map[string]any{"Workers": 1}
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serialScenario(s, specs) {
+		t.Fatal("Workers-pinning scenario not forced serial")
+	}
+	s2 := detScenario()
+	specs2, err := s2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialScenario(s2, specs2) {
+		t.Fatal("plain scenario wrongly forced serial")
+	}
+	s2.Serial = true
+	if !serialScenario(s2, specs2) {
+		t.Fatal("Serial flag ignored")
+	}
+}
+
+// TestTileStats: the scenario-level switch embeds per-tile records.
+func TestTileStats(t *testing.T) {
+	s := detScenario()
+	s.TileStats = true
+	records, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records[0].Tiles) != 4 {
+		t.Fatalf("tile records = %d, want 4", len(records[0].Tiles))
+	}
+}

@@ -45,50 +45,57 @@ func (k MissKind) String() string {
 	}
 }
 
-// Tile is the statistics record of one target tile.
+// Tile is the statistics record of one target tile. The JSON field names
+// are the stable export schema consumed by scenario JSONL records and any
+// external analysis tooling; gob encoding (the MCP gather path) ignores
+// the tags.
 type Tile struct {
-	TileID arch.TileID
+	TileID arch.TileID `json:"tile"`
 
 	// Core model.
-	Instructions     uint64
-	Cycles           arch.Cycles // final local clock
-	Branches         uint64
-	BranchMispredict uint64
-	ComputeCycles    arch.Cycles
-	MemStallCycles   arch.Cycles
-	SyncWaitCycles   arch.Cycles
+	Instructions     uint64      `json:"instructions"`
+	Cycles           arch.Cycles `json:"cycles"` // final local clock
+	Branches         uint64      `json:"branches"`
+	BranchMispredict uint64      `json:"branch_mispredict"`
+	ComputeCycles    arch.Cycles `json:"compute_cycles"`
+	MemStallCycles   arch.Cycles `json:"mem_stall_cycles"`
+	SyncWaitCycles   arch.Cycles `json:"sync_wait_cycles"`
 
 	// Memory references issued by the application.
-	Loads, Stores uint64
+	Loads  uint64 `json:"loads"`
+	Stores uint64 `json:"stores"`
 
 	// Cache hierarchy.
-	L1IHits, L1IMisses uint64
-	L1DHits, L1DMisses uint64
-	L2Hits, L2Misses   uint64
-	L2Evictions        uint64
-	L2Writebacks       uint64
-	Upgrades           uint64
+	L1IHits      uint64 `json:"l1i_hits"`
+	L1IMisses    uint64 `json:"l1i_misses"`
+	L1DHits      uint64 `json:"l1d_hits"`
+	L1DMisses    uint64 `json:"l1d_misses"`
+	L2Hits       uint64 `json:"l2_hits"`
+	L2Misses     uint64 `json:"l2_misses"`
+	L2Evictions  uint64 `json:"l2_evictions"`
+	L2Writebacks uint64 `json:"l2_writebacks"`
+	Upgrades     uint64 `json:"upgrades"`
 	// MissBy classifies data misses only; instruction-fetch misses are
 	// counted separately so they cannot distort Figure 8.
-	MissBy       [NumMissKinds]uint64
-	IFetchMisses uint64
+	MissBy       [NumMissKinds]uint64 `json:"miss_by"`
+	IFetchMisses uint64               `json:"ifetch_misses"`
 
 	// Memory timing.
-	MemLatencyTotal arch.Cycles // summed end-to-end latency of L2 misses
-	MemAccesses     uint64      // L2 misses measured by MemLatencyTotal
+	MemLatencyTotal arch.Cycles `json:"mem_latency_total"` // summed end-to-end latency of L2 misses
+	MemAccesses     uint64      `json:"mem_accesses"`      // L2 misses measured by MemLatencyTotal
 
 	// Home-tile roles.
-	DirRequests   uint64 // coherence requests served as home
-	DirTraps      uint64 // LimitLESS software traps
-	InvSent       uint64 // invalidations issued as home
-	DRAMReads     uint64
-	DRAMWrites    uint64
-	DRAMQueueWait arch.Cycles
+	DirRequests   uint64      `json:"dir_requests"` // coherence requests served as home
+	DirTraps      uint64      `json:"dir_traps"`    // LimitLESS software traps
+	InvSent       uint64      `json:"inv_sent"`     // invalidations issued as home
+	DRAMReads     uint64      `json:"dram_reads"`
+	DRAMWrites    uint64      `json:"dram_writes"`
+	DRAMQueueWait arch.Cycles `json:"dram_queue_wait"`
 
 	// Network (filled from the tile's Net at collection time).
-	NetPacketsSent uint64
-	NetBytesSent   uint64
-	NetPacketsRecv uint64
+	NetPacketsSent uint64 `json:"net_packets_sent"`
+	NetBytesSent   uint64 `json:"net_bytes_sent"`
+	NetPacketsRecv uint64 `json:"net_packets_recv"`
 }
 
 // TotalL2Misses returns the sum of the classified miss counters.
@@ -100,29 +107,43 @@ func (t *Tile) TotalL2Misses() uint64 {
 	return n
 }
 
-// Totals aggregates tile records for reporting.
+// Totals aggregates tile records for reporting. Like Tile, the JSON tags
+// are the stable structured-export schema (scenario JSONL embeds Totals
+// verbatim); field values are integers, so records round-trip exactly.
 type Totals struct {
-	Tiles            int
-	Instructions     uint64
-	MaxCycles        arch.Cycles // simulated run-time: max over tile clocks
-	SumCycles        arch.Cycles
-	Loads, Stores    uint64
-	L1DHits          uint64
-	L1DMisses        uint64
-	L2Hits           uint64
-	L2Misses         uint64
-	Upgrades         uint64
-	MissBy           [NumMissKinds]uint64
-	MemLatencyTotal  arch.Cycles
-	MemAccesses      uint64
-	DirTraps         uint64
-	InvSent          uint64
-	DRAMReads        uint64
-	DRAMWrites       uint64
-	NetPacketsSent   uint64
-	NetBytesSent     uint64
-	Branches         uint64
-	BranchMispredict uint64
+	Tiles            int                  `json:"tiles"`
+	Instructions     uint64               `json:"instructions"`
+	MaxCycles        arch.Cycles          `json:"max_cycles"` // simulated run-time: max over tile clocks
+	SumCycles        arch.Cycles          `json:"sum_cycles"`
+	Loads            uint64               `json:"loads"`
+	Stores           uint64               `json:"stores"`
+	L1DHits          uint64               `json:"l1d_hits"`
+	L1DMisses        uint64               `json:"l1d_misses"`
+	L2Hits           uint64               `json:"l2_hits"`
+	L2Misses         uint64               `json:"l2_misses"`
+	Upgrades         uint64               `json:"upgrades"`
+	MissBy           [NumMissKinds]uint64 `json:"miss_by"`
+	MemLatencyTotal  arch.Cycles          `json:"mem_latency_total"`
+	MemAccesses      uint64               `json:"mem_accesses"`
+	DirTraps         uint64               `json:"dir_traps"`
+	InvSent          uint64               `json:"inv_sent"`
+	DRAMReads        uint64               `json:"dram_reads"`
+	DRAMWrites       uint64               `json:"dram_writes"`
+	NetPacketsSent   uint64               `json:"net_packets_sent"`
+	NetBytesSent     uint64               `json:"net_bytes_sent"`
+	Branches         uint64               `json:"branches"`
+	BranchMispredict uint64               `json:"branch_mispredict"`
+}
+
+// MissByName returns the classified miss counters keyed by kind name —
+// the reader-friendly companion of the positional MissBy array in JSON
+// exports.
+func (t *Totals) MissByName() map[string]uint64 {
+	out := make(map[string]uint64, NumMissKinds)
+	for k := MissKind(0); k < NumMissKinds; k++ {
+		out[k.String()] = t.MissBy[k]
+	}
+	return out
 }
 
 // Aggregate folds tile records into totals.

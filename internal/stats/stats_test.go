@@ -3,6 +3,7 @@ package stats
 import (
 	"bytes"
 	"encoding/gob"
+	"encoding/json"
 	"testing"
 )
 
@@ -79,5 +80,56 @@ func TestTileGobRoundtrip(t *testing.T) {
 	}
 	if len(out) != 1 || out[0] != in {
 		t.Fatalf("roundtrip mismatch: %+v", out)
+	}
+}
+
+func TestTotalsJSONExport(t *testing.T) {
+	// The JSON tags are the stable structured-export schema; scenario
+	// JSONL records embed Totals verbatim and must round-trip exactly.
+	in := Totals{Tiles: 2, Instructions: 10, MaxCycles: 99, Loads: 5, Stores: 3,
+		MissBy: [NumMissKinds]uint64{1, 0, 2, 1}}
+	buf, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"tiles"`, `"instructions"`, `"max_cycles"`, `"loads"`, `"stores"`, `"miss_by"`} {
+		if !bytes.Contains(buf, []byte(key)) {
+			t.Errorf("export missing %s: %s", key, buf)
+		}
+	}
+	var out Totals
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestTileJSONExport(t *testing.T) {
+	in := Tile{TileID: 1, Instructions: 7, L1DHits: 3, L1DMisses: 1, DRAMReads: 2}
+	buf, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"tile"`, `"l1d_hits"`, `"l1d_misses"`, `"dram_reads"`} {
+		if !bytes.Contains(buf, []byte(key)) {
+			t.Errorf("export missing %s: %s", key, buf)
+		}
+	}
+	var out Tile
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestMissByName(t *testing.T) {
+	tot := Totals{MissBy: [NumMissKinds]uint64{4, 3, 2, 1}}
+	m := tot.MissByName()
+	if m["cold"] != 4 || m["capacity"] != 3 || m["true-sharing"] != 2 || m["false-sharing"] != 1 {
+		t.Fatalf("MissByName = %v", m)
 	}
 }

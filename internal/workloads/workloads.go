@@ -106,6 +106,52 @@ func SplashNames() []string {
 	}
 }
 
+// quickScale and fullScale are the per-workload problem sizes of the
+// "quick" (seconds, CI) and "full" (approaching the paper's sizes) run
+// sizes; "standard" uses DefaultScale. The experiments package and the
+// scenario runner both resolve sizes through ScaleFor, so a table
+// regenerated bespoke and the same table expressed as a scenario agree.
+var quickScale = map[string]int{
+	"fft": 8, "lu_cont": 24, "lu_non_cont": 24,
+	"ocean_cont": 24, "ocean_non_cont": 24, "radix": 9,
+	"cholesky": 20, "fmm": 64, "water_nsquared": 32,
+	"water_spatial": 48, "barnes": 48, "matmul": 16,
+	"blackscholes": 8,
+}
+
+var fullScale = map[string]int{
+	"fft": 12, "lu_cont": 128, "lu_non_cont": 128,
+	"ocean_cont": 128, "ocean_non_cont": 128, "radix": 14,
+	"cholesky": 96, "fmm": 512, "water_nsquared": 192,
+	"water_spatial": 256, "barnes": 256, "matmul": 96,
+	"blackscholes": 13,
+}
+
+// ScaleFor returns the Scale of a workload at a named run size
+// ("quick", "standard", or "full").
+func ScaleFor(name, size string) (int, error) {
+	w, ok := registry[name]
+	if !ok {
+		return 0, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	switch size {
+	case "quick":
+		if s, ok := quickScale[name]; ok {
+			return s, nil
+		}
+		return w.DefaultScale, nil
+	case "standard":
+		return w.DefaultScale, nil
+	case "full":
+		if s, ok := fullScale[name]; ok {
+			return s, nil
+		}
+		return w.DefaultScale, nil
+	default:
+		return 0, fmt.Errorf("workloads: unknown size %q (quick|standard|full)", size)
+	}
+}
+
 // Close reports whether two checksums agree within the tolerance expected
 // from reordered parallel floating-point reductions.
 func Close(a, b float64) bool {

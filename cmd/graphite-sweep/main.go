@@ -1,10 +1,23 @@
-// Command graphite-sweep runs design-space sweeps. It has two modes:
+// Command graphite-sweep runs design-space sweeps. It has three modes:
 //
 // Scenario mode executes a declarative scenario file (see README,
 // "Scenario files") on a host-parallel worker pool and writes one JSONL
 // record per run:
 //
 //	graphite-sweep -scenario examples/scenarios/line-size-sweep.json -parallel 4 -out r.jsonl
+//
+// Distributed mode spreads one scenario across machines (README,
+// "Distributed sweeps"): a coordinator serves the expanded runs over TCP
+// and any number of workers pull, execute, and stream records back. The
+// merged output is byte-identical to the single-host runner's, up to
+// wall_sec:
+//
+//	graphite-sweep -scenario sweep.json -serve :9640 -workers-expected 2 -out r.jsonl
+//	graphite-sweep -worker -connect host:9640 -parallel 8
+//
+// -resume r.jsonl skips runs that already have an error-free record with
+// a matching config digest, so an interrupted sweep continues where it
+// stopped.
 //
 // Experiment mode regenerates the tables and figures of the paper's
 // evaluation section (§4). Each -exp selects one experiment from the
@@ -16,6 +29,9 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,13 +40,19 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/scenario/dispatch"
 )
 
 func main() {
 	var (
 		scenarioPath = flag.String("scenario", "", "scenario file to run (overrides -exp)")
-		parallel     = flag.Int("parallel", 0, "worker pool size for scenario runs (0 = host CPUs)")
+		parallel     = flag.Int("parallel", 0, "worker pool size for scenario/worker runs (0 = host CPUs)")
 		out          = flag.String("out", "", "JSONL output path for -scenario (default: stdout)")
+		serve        = flag.String("serve", "", "coordinator mode: serve the -scenario runs to workers on this address")
+		worker       = flag.Bool("worker", false, "worker mode: pull runs from a coordinator (-connect)")
+		connect      = flag.String("connect", "", "coordinator address for -worker (host:port)")
+		resume       = flag.String("resume", "", "JSONL of a previous partial run; matching error-free records are not re-executed")
+		workersExp   = flag.Int("workers-expected", 0, "coordinator waits for this many worker processes before dispatching")
 		exp          = flag.String("exp", "all", "experiment: "+experiments.FlagUsage())
 		preset       = flag.String("preset", "quick", "size preset: quick|standard|full")
 		runs         = flag.Int("runs", 0, "repetitions for table3 (default: preset-dependent)")
@@ -39,6 +61,46 @@ func main() {
 	)
 	flag.Parse()
 
+	// -resume and -workers-expected only mean something to the
+	// coordinator. Rejecting them elsewhere matters for -resume
+	// especially: silently ignoring it in single-host mode would
+	// truncate the very file the user asked to resume from.
+	if *serve == "" {
+		if *resume != "" {
+			fmt.Fprintln(os.Stderr, "graphite-sweep: -resume requires -serve (distributed coordinator mode)")
+			os.Exit(2)
+		}
+		if *workersExp != 0 {
+			fmt.Fprintln(os.Stderr, "graphite-sweep: -workers-expected requires -serve")
+			os.Exit(2)
+		}
+	}
+	if !*worker && *connect != "" {
+		fmt.Fprintln(os.Stderr, "graphite-sweep: -connect requires -worker (did you forget -worker?)")
+		os.Exit(2)
+	}
+	if *worker {
+		if *connect == "" {
+			fmt.Fprintln(os.Stderr, "graphite-sweep: -worker requires -connect host:port")
+			os.Exit(2)
+		}
+		if err := dispatch.Work(*connect, dispatch.WorkerOptions{Parallel: *parallel, Progress: os.Stderr}); err != nil {
+			fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serve != "" {
+		if *scenarioPath == "" {
+			fmt.Fprintln(os.Stderr, "graphite-sweep: -serve requires -scenario")
+			os.Exit(2)
+		}
+		if err := serveScenario(*scenarioPath, *serve, *out, *resume, *workersExp); err != nil {
+			fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scenarioPath != "" {
 		if err := runScenario(*scenarioPath, *parallel, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
@@ -120,4 +182,101 @@ func runScenario(path string, parallel int, out string) error {
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(records), out)
 	}
 	return runErr
+}
+
+// serveScenario runs the distributed coordinator: expand the scenario,
+// adopt any resumable records, and serve the rest to workers.
+func serveScenario(path, addr, out, resumePath string, workersExpected int) error {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	specs, err := sc.Expand()
+	if err != nil {
+		return err
+	}
+
+	// Read the resume file before creating the output: -resume and -out
+	// may name the same path.
+	var resume []scenario.Record
+	if resumePath != "" {
+		resume, err = readResume(resumePath)
+		if err != nil {
+			return err
+		}
+	}
+
+	c, err := dispatch.NewCoordinator(specs, dispatch.Options{
+		Addr:            addr,
+		WorkersExpected: workersExpected,
+		Serial:          scenario.NeedsSerial(sc, specs),
+		Verify:          sc.Verify,
+		Progress:        os.Stderr,
+		Resume:          resume,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Truncate the output only now: -out may name the same file as
+	// -resume, and a coordinator startup failure (bad address, port in
+	// use) must not destroy the records we just read from it.
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	c.SetOutput(w)
+	fmt.Fprintf(os.Stderr, "scenario %s: %d runs (%d resumed), serving on %s\n",
+		sc.Name, len(specs), c.Reused(), c.Addr())
+
+	records, runErr := c.Wait()
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s (%d executed, %d resumed)\n",
+			len(records), out, c.Executed(), c.Reused())
+	}
+	return runErr
+}
+
+// readResume reads a previous run's JSONL, tolerating a torn final line:
+// an interrupted coordinator (crash, disk full) can leave a partial last
+// record, and that must not make the durable prefix — the whole point of
+// -resume — unreadable. Corruption anywhere else still fails loudly.
+func readResume(path string) ([]scenario.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 64<<20) // records can embed per-tile stats
+	var records []scenario.Record
+	lineNo, badLine := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			return nil, fmt.Errorf("resume %s: line %d: invalid record (not a torn tail)", path, badLine)
+		}
+		var rec scenario.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			badLine = lineNo // fatal only if another record follows
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("resume %s: %w", path, err)
+	}
+	if badLine != 0 {
+		fmt.Fprintf(os.Stderr, "resume %s: dropping torn final record on line %d\n", path, badLine)
+	}
+	return records, nil
 }

@@ -1,6 +1,8 @@
 package config
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
 
 	"repro/internal/arch"
@@ -210,5 +212,37 @@ func TestParsers(t *testing.T) {
 		if bad() == nil {
 			t.Fatal("invalid spelling accepted")
 		}
+	}
+}
+
+// TestConfigJSONRoundTrip: Config is the payload of distributed sweep
+// dispatch (scenario.RunSpec travels as JSON), so decode(encode(cfg)) must
+// reproduce the value exactly — including the integer-keyed TileCores map.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := Default()
+	cfg.Tiles = 16
+	cfg.Sync.Model = LaxP2P
+	cfg.Coherence.Kind = LimitLESS
+	cfg.TileCores = map[arch.TileID]CoreConfig{
+		0: {Kind: CoreOutOfOrder, ROBWindow: 128},
+		9: {Kind: CoreInOrder, ArithCost: 2},
+	}
+	buf, err := json.Marshal(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, back) {
+		t.Fatalf("config did not round-trip:\n got %+v\nwant %+v", back, cfg)
+	}
+	buf2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(buf2) {
+		t.Fatalf("re-encoding not byte-stable:\n %s\n %s", buf, buf2)
 	}
 }

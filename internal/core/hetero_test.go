@@ -20,6 +20,7 @@ func TestHeterogeneousTiles(t *testing.T) {
 
 	type result struct{ big, little arch.Cycles }
 	var res result
+	const bar = arch.Addr(0x1_0000) // static segment; barrier keys on the address only
 	prog := Program{Name: "biglittle"}
 	prog.Funcs = []ThreadFunc{
 		func(th *Thread, arg uint64) {
@@ -37,6 +38,10 @@ func TestHeterogeneousTiles(t *testing.T) {
 			} else {
 				res.little = d
 			}
+			// Meet before exiting: if the first spawned thread exited
+			// before the MCP placed the second, its tile would be freed
+			// and reused, putting both threads on the big tile.
+			th.BarrierWait(bar, 2)
 		},
 	}
 	run(t, cfg, prog, 0)

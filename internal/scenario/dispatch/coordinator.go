@@ -1,0 +1,431 @@
+package dispatch
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Addr is the listen address ("" means "127.0.0.1:0").
+	Addr string
+	// WorkersExpected gates dispatch: no spec is handed out until this
+	// many worker processes have completed the hello exchange (each
+	// process's first connection is marked primary; extra -parallel
+	// connections don't count), so a sweep's work spreads across the
+	// fleet instead of racing onto whichever worker connects first.
+	// 0 dispatches immediately.
+	WorkersExpected int
+	// Serial tells workers to run one spec at a time per host process
+	// (scenario.NeedsSerial).
+	Serial bool
+	// Verify asks workers to fill ChecksumOK against the native kernels.
+	Verify bool
+	// Out, when non-nil, receives the merged JSONL incrementally: record
+	// i is written as soon as records 0..i are all complete, so a
+	// long sweep's output is durable as it goes and usable by -resume.
+	Out io.Writer
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+	// Resume holds records from a previous partial run of the same
+	// scenario. A record is reused — not re-executed — when its run index
+	// and config digest match the current expansion and it carries no
+	// error.
+	Resume []scenario.Record
+}
+
+// Coordinator serves one sweep to remote workers.
+type Coordinator struct {
+	opt     Options
+	ln      net.Listener
+	specs   []scenario.RunSpec
+	digests []string // coordinator-side config digest per spec
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        []int // pending spec indices, dispatched front to back
+	attempts     []int // failed dispatch attempts per spec
+	done         []bool
+	records      []scenario.Record
+	remaining    int
+	reused       int
+	executed     int
+	hellos       int
+	warnedSerial bool
+	finished     bool
+	nextWrite    int
+	writeErr     error
+
+	handlers sync.WaitGroup
+	accept   sync.WaitGroup
+}
+
+// NewCoordinator expands nothing itself: it takes the specs of an
+// already-expanded scenario (so the caller can log the expansion), applies
+// Resume, starts listening, and begins serving. Call Wait to block until
+// every record is in.
+func NewCoordinator(specs []scenario.RunSpec, opt Options) (*Coordinator, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("dispatch: no runs to serve")
+	}
+	addr := opt.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: listen %s: %w", addr, err)
+	}
+	c := &Coordinator{
+		opt:       opt,
+		ln:        ln,
+		specs:     specs,
+		digests:   make([]string, len(specs)),
+		attempts:  make([]int, len(specs)),
+		done:      make([]bool, len(specs)),
+		records:   make([]scenario.Record, len(specs)),
+		remaining: len(specs),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i := range specs {
+		c.digests[i] = scenario.Digest(&specs[i].Config)
+	}
+
+	// Adopt resumable records. The config digest covers only
+	// config.Config; workload/threads/scale live on the RunSpec outside
+	// it (two runs over different workloads share a digest), so they
+	// must match explicitly or an edited scenario could adopt another
+	// workload's results under a rewritten identity.
+	for ri := range opt.Resume {
+		r := &opt.Resume[ri]
+		i := r.Run
+		if i < 0 || i >= len(specs) || c.done[i] || r.Error != "" || r.ConfigDigest != c.digests[i] {
+			continue
+		}
+		if r.Workload != specs[i].Workload || r.Threads != specs[i].Threads || r.Scale != specs[i].Scale {
+			continue
+		}
+		// tile_stats turned on since the record was produced: the tiles
+		// field cannot be backfilled without re-running, so re-run.
+		// (Turned off is handled by mergeRecord dropping the field.)
+		if specs[i].TileStats && len(r.Tiles) == 0 {
+			continue
+		}
+		c.records[i] = c.mergeRecord(i, r)
+		c.done[i] = true
+		c.remaining--
+		c.reused++
+	}
+	// Fill ChecksumOK for adopted records that predate -verify, so
+	// resumed output is indistinguishable from freshly executed output.
+	// Bounded-parallel via VerifyParallel — the native runs are the same
+	// long pole a large verified sweep has.
+	if opt.Verify {
+		var need []int
+		for i := range c.records {
+			if c.done[i] && c.records[i].ChecksumOK == nil {
+				need = append(need, i)
+			}
+		}
+		if len(need) > 0 {
+			tmp := make([]scenario.Record, len(need))
+			for j, i := range need {
+				tmp[j] = c.records[i]
+			}
+			scenario.VerifyParallel(tmp, 0)
+			for j, i := range need {
+				c.records[i].ChecksumOK = tmp[j].ChecksumOK
+			}
+		}
+	}
+	for i := range specs {
+		if !c.done[i] {
+			c.queue = append(c.queue, i)
+		}
+	}
+	c.mu.Lock()
+	c.flushLocked()
+	if c.remaining == 0 {
+		c.finished = true
+	}
+	c.mu.Unlock()
+
+	c.accept.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address (with the resolved port).
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// SetOutput installs (or replaces) the incremental output writer and
+// immediately flushes the completed in-order prefix to it. It exists so a
+// caller whose output path may equal its resume path can delay truncating
+// the file until the coordinator has come up successfully: construct with
+// Options.Out nil, then SetOutput once NewCoordinator has returned.
+func (c *Coordinator) SetOutput(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opt.Out = w
+	c.flushLocked()
+}
+
+// Reused reports how many records were adopted from Options.Resume.
+func (c *Coordinator) Reused() int { return c.reused }
+
+// Executed reports how many records came back from workers so far.
+func (c *Coordinator) Executed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.executed
+}
+
+// Wait blocks until every run has a record, then shuts the listener down
+// and returns the records in run-index order. Like scenario.RunSpecs, the
+// error joins all per-run failures plus any output-write failure; records
+// of successful runs are valid even when err != nil.
+func (c *Coordinator) Wait() ([]scenario.Record, error) {
+	c.mu.Lock()
+	for c.remaining > 0 {
+		c.cond.Wait()
+	}
+	c.finished = true
+	c.cond.Broadcast()
+	writeErr := c.writeErr
+	c.mu.Unlock()
+
+	// Stop accepting, then let every handler observe completion and send
+	// its done message. Handlers never block indefinitely here: the hello
+	// exchange runs under a deadline and the dispatch loop re-checks
+	// finished after every broadcast.
+	c.ln.Close()
+	c.accept.Wait()
+	c.handlers.Wait()
+
+	var errs []error
+	if writeErr != nil {
+		errs = append(errs, writeErr)
+	}
+	for i := range c.records {
+		if c.records[i].Error != "" {
+			errs = append(errs, fmt.Errorf("run %d (%s): %s", c.records[i].Run, c.records[i].Workload, c.records[i].Error))
+		}
+	}
+	return c.records, errors.Join(errs...)
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.accept.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed by Wait
+		}
+		c.handlers.Add(1)
+		go c.handle(conn)
+	}
+}
+
+// handle owns one worker connection: hello/welcome, then a dispatch loop
+// with exactly one spec in flight. Any error requeues the in-flight spec
+// and abandons the connection; the sweep completes on the survivors.
+func (c *Coordinator) handle(conn net.Conn) {
+	defer c.handlers.Done()
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+		// Keepalive makes the requeue contract hold under silent
+		// partition too: a blocking record read on a worker whose host
+		// vanished without an RST must eventually error, or the
+		// in-flight spec would never return to the queue.
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	r := bufio.NewReaderSize(conn, 64<<10)
+
+	// The handshake must not be able to wedge shutdown: a connection that
+	// never says hello is dropped after the deadline.
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	m, err := readMsg(r)
+	if err != nil || m.Type != msgHello || m.Proto != protoVersion {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if err := writeMsg(conn, &message{Type: msgWelcome, Proto: protoVersion, Serial: c.opt.Serial}); err != nil {
+		return
+	}
+
+	// Count the worker and hold dispatch until the expected fleet is up.
+	// The gate is a start condition only: a counted worker that later
+	// dies doesn't re-arm it — its in-flight spec requeues and survivors
+	// (or late joiners) finish the sweep.
+	c.mu.Lock()
+	if m.Primary {
+		c.hellos++
+		// The serial clamp is per worker process; exclusivity across
+		// processes is the operator's to provide (one worker per host),
+		// so a serial sweep with several workers deserves a note.
+		if c.opt.Serial && c.hellos == 2 && !c.warnedSerial && c.opt.Progress != nil {
+			c.warnedSerial = true
+			fmt.Fprintln(c.opt.Progress, "serial scenario with multiple workers: wall-clock honesty requires each worker to run on its own host")
+		}
+	}
+	c.cond.Broadcast()
+	for c.hellos < c.opt.WorkersExpected && !c.finished {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+
+	for {
+		i, ok := c.pop()
+		if !ok {
+			// Sweep complete: release the worker cleanly.
+			writeMsg(conn, &message{Type: msgDone})
+			return
+		}
+		if err := writeMsg(conn, &message{Type: msgSpec, Verify: c.opt.Verify, Spec: &c.specs[i]}); err != nil {
+			c.requeue(i)
+			return
+		}
+		m, err := readMsg(r)
+		if err != nil || m.Type != msgRecord || m.Record == nil || m.Record.Run != c.specs[i].Run {
+			c.requeue(i)
+			return
+		}
+		c.complete(i, m.Record, true)
+	}
+}
+
+// pop takes the next pending spec, blocking while the queue is empty but
+// the sweep is unfinished (a requeue may still produce work). ok is false
+// once every record is in.
+func (c *Coordinator) pop() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && c.remaining > 0 {
+		c.cond.Wait()
+	}
+	if c.remaining == 0 {
+		return 0, false
+	}
+	i := c.queue[0]
+	c.queue = c.queue[1:]
+	return i, true
+}
+
+// maxAttempts bounds how often one spec may take a connection down with
+// it before the coordinator gives up on it. A worker crash is blamed on
+// the worker, but a spec that deterministically kills every worker that
+// touches it (say, a record too large to frame) must not requeue forever,
+// poisoning the whole fleet and hanging the sweep.
+const maxAttempts = 3
+
+// requeue returns an in-flight spec to the queue after its connection
+// failed — or, past maxAttempts, records the failure the way a failed
+// single-host run would be recorded, so the sweep still completes.
+func (c *Coordinator) requeue(i int) {
+	c.mu.Lock()
+	if c.done[i] {
+		c.mu.Unlock()
+		return
+	}
+	c.attempts[i]++
+	if c.attempts[i] >= maxAttempts {
+		attempts := c.attempts[i]
+		c.mu.Unlock()
+		c.complete(i, &scenario.Record{
+			Run:   c.specs[i].Run,
+			Error: fmt.Sprintf("dispatch: run abandoned after %d failed worker connections", attempts),
+		}, false)
+		return
+	}
+	c.queue = append(c.queue, i)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// complete stores a record and flushes the in-order prefix. executed
+// marks records genuinely produced by a worker, as opposed to synthesized
+// abandonment errors.
+func (c *Coordinator) complete(i int, remote *scenario.Record, executed bool) {
+	rec := c.mergeRecord(i, remote)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done[i] {
+		return
+	}
+	c.records[i] = rec
+	c.done[i] = true
+	c.remaining--
+	if executed {
+		c.executed++
+	}
+	c.flushLocked()
+	if c.opt.Progress != nil {
+		status := fmt.Sprintf("%d cycles", rec.SimCycles)
+		if rec.Error != "" {
+			status = "ERROR: " + rec.Error
+		}
+		total := len(c.specs)
+		fmt.Fprintf(c.opt.Progress, "[%d/%d] run %d %s (%.3fs, %s)\n",
+			total-c.remaining, total, rec.Run, rec.Workload, rec.WallSec, status)
+	}
+	c.cond.Broadcast()
+}
+
+// mergeRecord rebuilds the record's spec-identity fields from the
+// coordinator's own expansion. Result fields (cycles, checksum, stats,
+// wall time, error) come from the worker; identity fields must not — a
+// JSON round trip erases the distinction between json.Number and float64
+// in the axes map, and byte-identical merged output is the contract
+// (DESIGN.md §11).
+func (c *Coordinator) mergeRecord(i int, remote *scenario.Record) scenario.Record {
+	spec := &c.specs[i]
+	rec := *remote
+	rec.Schema = scenario.RecordSchema
+	rec.Scenario = spec.Scenario
+	rec.Run = spec.Run
+	rec.Grid = spec.Grid
+	rec.Point = spec.Point
+	rec.Repeat = spec.Repeat
+	rec.Workload = spec.Workload
+	rec.Threads = spec.Threads
+	rec.Scale = spec.Scale
+	rec.Seed = spec.Seed
+	rec.Axes = spec.Axes
+	rec.ConfigDigest = c.digests[i]
+	// Verify or tile_stats turned off since a resumed record was
+	// produced: drop the stale fields, or the merged output would mix
+	// row shapes and differ from a fresh single-host run. (Either
+	// turned on is the symmetric case: ChecksumOK is backfilled in
+	// NewCoordinator, missing tiles force a re-run.)
+	if !c.opt.Verify {
+		rec.ChecksumOK = nil
+	}
+	if !spec.TileStats {
+		rec.Tiles = nil
+	}
+	return rec
+}
+
+// flushLocked writes the completed in-order prefix to Out. Called with mu
+// held.
+func (c *Coordinator) flushLocked() {
+	if c.opt.Out == nil || c.writeErr != nil {
+		return
+	}
+	for c.nextWrite < len(c.records) && c.done[c.nextWrite] {
+		if err := scenario.WriteJSONL(c.opt.Out, c.records[c.nextWrite:c.nextWrite+1]); err != nil {
+			c.writeErr = fmt.Errorf("dispatch: write output: %w", err)
+			return
+		}
+		c.nextWrite++
+	}
+}

@@ -1,0 +1,279 @@
+package dispatch
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// testScenario is a small verified sweep: 2 workloads x 2 line sizes on a
+// 4-tile target, single-threaded so records are byte-deterministic.
+const testScenarioJSON = `{
+  "name": "dispatch-test",
+  "preset": "small-cache",
+  "size": "quick",
+  "threads": 1,
+  "seed": 1,
+  "verify": true,
+  "base": { "Tiles": 4 },
+  "grids": [
+    {
+      "axes": [
+        { "field": "workload", "values": ["radix", "fft"] },
+        { "field": "line_size", "values": [32, 64] }
+      ]
+    }
+  ]
+}`
+
+func loadTestScenario(t *testing.T) (*scenario.Scenario, []scenario.RunSpec) {
+	t.Helper()
+	s, err := scenario.Parse(strings.NewReader(testScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, specs
+}
+
+var wallSecRe = regexp.MustCompile(`,"wall_sec":[0-9eE.+-]+`)
+
+func stripWall(b []byte) string { return wallSecRe.ReplaceAllString(string(b), "") }
+
+func jsonl(t *testing.T, records []scenario.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := scenario.WriteJSONL(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDistributedMatchesSingleHost is the PR's determinism contract: a
+// 2-worker distributed sweep produces JSONL byte-identical to the
+// single-host runner's output up to wall_sec.
+func TestDistributedMatchesSingleHost(t *testing.T) {
+	s, specs := loadTestScenario(t)
+	single, err := scenario.RunExpanded(s, specs, scenario.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, specs2 := loadTestScenario(t) // fresh expansion for the coordinator
+	var out bytes.Buffer
+	c, err := NewCoordinator(specs2, Options{
+		Serial:          scenario.NeedsSerial(s, specs2),
+		Verify:          s.Verify,
+		Out:             &out,
+		WorkersExpected: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := Work(c.Addr(), WorkerOptions{Parallel: 1, DialTimeout: 5 * time.Second}); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	dist, err := c.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := stripWall(jsonl(t, dist)), stripWall(jsonl(t, single))
+	if got != want {
+		t.Fatalf("distributed records differ from single-host records:\n got: %s\nwant: %s", got, want)
+	}
+	// The incrementally written output must be the same bytes the record
+	// slice serializes to.
+	if !bytes.Equal(out.Bytes(), jsonl(t, dist)) {
+		t.Fatal("incremental Out differs from final records")
+	}
+	if c.Executed() != len(specs2) {
+		t.Fatalf("executed %d runs, want %d", c.Executed(), len(specs2))
+	}
+}
+
+// TestWorkerKillMidSweep kills a worker that holds an in-flight spec; the
+// coordinator must requeue it and the sweep must still complete with a
+// full, correctly ordered record set.
+func TestWorkerKillMidSweep(t *testing.T) {
+	s, specs := loadTestScenario(t)
+	var out bytes.Buffer
+	c, err := NewCoordinator(specs, Options{Verify: s.Verify, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A worker that takes one spec and dies without replying.
+	conn, r, _, err := attach(c.Addr(), 5*time.Second, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := readMsg(r)
+	if err != nil || m.Type != msgSpec {
+		t.Fatalf("fake worker expected a spec, got %+v, %v", m, err)
+	}
+	killed := m.Spec.Run
+	conn.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- Work(c.Addr(), WorkerOptions{Parallel: 1, DialTimeout: 5 * time.Second}) }()
+	records, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("surviving worker: %v", werr)
+	}
+
+	if len(records) != len(specs) {
+		t.Fatalf("got %d records, want %d", len(records), len(specs))
+	}
+	seenKilled := false
+	for i := range records {
+		if records[i].Run != i {
+			t.Fatalf("record %d carries run %d: merge order broken", i, records[i].Run)
+		}
+		if records[i].Error != "" {
+			t.Fatalf("run %d failed: %s", i, records[i].Error)
+		}
+		if records[i].SimCycles == 0 {
+			t.Fatalf("run %d has no cycles: spec lost", i)
+		}
+		if records[i].Run == killed {
+			seenKilled = true
+		}
+	}
+	if !seenKilled {
+		t.Fatalf("killed run %d missing from records", killed)
+	}
+	if c.Executed() != len(specs) {
+		t.Fatalf("executed %d, want %d (requeued spec must be re-executed)", c.Executed(), len(specs))
+	}
+}
+
+// TestResumeRoundTrip: records from a partial previous run are reused when
+// run index and config digest match and the record is error-free; the
+// final output is byte-identical to a full run up to wall_sec.
+func TestResumeRoundTrip(t *testing.T) {
+	s, specs := loadTestScenario(t)
+	full, err := scenario.RunExpanded(s, specs, scenario.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Previous partial output: run 0 completed cleanly, run 1 has a stale
+	// digest (config changed since), run 2 is an impostor — as if the
+	// workload axis was edited between runs, so the old record carries
+	// the same run index and config digest (workload/threads/scale live
+	// outside config.Config) but a different workload — and run 3
+	// errored. Only run 0 may be adopted.
+	partial := []scenario.Record{full[0], full[1], full[2], full[3]}
+	partial[1].ConfigDigest = "stale"
+	partial[2].Workload = "radix"
+	if partial[2].ConfigDigest != scenario.Digest(&specs[2].Config) {
+		t.Fatal("test premise broken: impostor record no longer shares run 2's config digest")
+	}
+	partial[3].Error = "killed"
+
+	_, specs2 := loadTestScenario(t)
+	var out bytes.Buffer
+	c, err := NewCoordinator(specs2, Options{Verify: s.Verify, Out: &out, Resume: partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reused() != 1 {
+		t.Fatalf("reused %d records, want 1 (stale digest, impostor workload, and errored record must re-run)", c.Reused())
+	}
+	done := make(chan error, 1)
+	go func() { done <- Work(c.Addr(), WorkerOptions{Parallel: 2, DialTimeout: 5 * time.Second}) }()
+	records, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("worker: %v", werr)
+	}
+	if c.Executed() != 3 {
+		t.Fatalf("executed %d runs, want 3", c.Executed())
+	}
+	got, want := stripWall(jsonl(t, records)), stripWall(jsonl(t, full))
+	if got != want {
+		t.Fatalf("resumed records differ from full run:\n got: %s\nwant: %s", got, want)
+	}
+	if !bytes.Equal(out.Bytes(), jsonl(t, records)) {
+		t.Fatal("incremental Out differs from final records")
+	}
+}
+
+// TestAllResumedCompletesWithoutWorkers: a sweep whose every record
+// resumes needs no workers at all.
+func TestAllResumedCompletesWithoutWorkers(t *testing.T) {
+	s, specs := loadTestScenario(t)
+	full, err := scenario.RunExpanded(s, specs, scenario.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, specs2 := loadTestScenario(t)
+	var out bytes.Buffer
+	c, err := NewCoordinator(specs2, Options{Verify: s.Verify, Out: &out, Resume: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reused() != len(specs2) || c.Executed() != 0 {
+		t.Fatalf("reused %d / executed %d, want %d / 0", c.Reused(), c.Executed(), len(specs2))
+	}
+	if got, want := stripWall(jsonl(t, records)), stripWall(jsonl(t, full)); got != want {
+		t.Fatal("all-resumed records differ from original run")
+	}
+}
+
+// TestPoisonSpecAbandonedAfterMaxAttempts: a spec that takes down every
+// connection that touches it must not requeue forever; past maxAttempts
+// it completes as an error record, like a failed single-host run.
+func TestPoisonSpecAbandonedAfterMaxAttempts(t *testing.T) {
+	_, specs := loadTestScenario(t)
+	c, err := NewCoordinator(specs[:1], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < maxAttempts; a++ {
+		conn, r, _, err := attach(c.Addr(), 5*time.Second, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, err := readMsg(r); err != nil || m.Type != msgSpec {
+			t.Fatalf("attempt %d: expected a spec, got %+v, %v", a, m, err)
+		}
+		conn.Close() // die without replying, every time
+	}
+	records, err := c.Wait()
+	if err == nil {
+		t.Fatal("abandoned run must surface as an error")
+	}
+	if len(records) != 1 || records[0].Error == "" {
+		t.Fatalf("want 1 error record, got %+v", records)
+	}
+	if c.Executed() != 0 {
+		t.Fatalf("executed = %d, want 0", c.Executed())
+	}
+}

@@ -90,15 +90,18 @@ func Run(s *Scenario, opt Options) ([]Record, error) {
 // RunExpanded executes specs previously produced by s.Expand(), for
 // callers that inspect the expansion (count it, log it) before running.
 func RunExpanded(s *Scenario, specs []RunSpec, opt Options) ([]Record, error) {
-	records, err := RunSpecs(specs, serialScenario(s, specs), opt)
+	records, err := RunSpecs(specs, NeedsSerial(s, specs), opt)
 	if s.Verify {
-		Verify(records)
+		VerifyParallel(records, opt.Parallel)
 	}
 	return records, err
 }
 
-// serialScenario reports whether the scenario must run with one worker.
-func serialScenario(s *Scenario, specs []RunSpec) bool {
+// NeedsSerial reports whether the scenario must run with one worker per
+// host process (Serial scenarios, and runs that pin Config.Workers —
+// GOMAXPROCS is process-global). The dispatch coordinator forwards this to
+// workers so a distributed sweep honors the same constraint.
+func NeedsSerial(s *Scenario, specs []RunSpec) bool {
 	if s.Serial {
 		return true
 	}
@@ -228,32 +231,95 @@ func ExecuteStats(spec *RunSpec) (Record, *core.RunStats) {
 	return rec, rs
 }
 
-// Verify runs the native variants of each distinct (workload, threads,
-// scale) in records and fills ChecksumOK. It is called by Run when the
-// scenario sets Verify.
-func Verify(records []Record) {
-	type key struct {
-		w      string
-		th, sc int
+// NativeKey identifies one native-execution variant: records sharing a key
+// share a native checksum.
+type NativeKey struct {
+	Workload       string
+	Threads, Scale int
+}
+
+// NativeChecksum executes the native variant of a workload and returns its
+// checksum. ok is false for unknown workloads. The result is deterministic
+// for a given key, which is what lets distributed workers verify their own
+// records and still match a single-host Verify pass byte for byte.
+func NativeChecksum(k NativeKey) (float64, bool) {
+	w, found := workloads.Get(k.Workload)
+	if !found {
+		return 0, false
 	}
-	native := map[key]float64{}
+	return w.Native(workloads.Params{Threads: k.Threads, Scale: k.Scale}), true
+}
+
+// Verify runs the native variants of each distinct (workload, threads,
+// scale) in records and fills ChecksumOK, using one native execution per
+// distinct variant across all host CPUs.
+func Verify(records []Record) { VerifyParallel(records, 0) }
+
+// VerifyParallel is Verify with the native executions bounded by parallel
+// workers (0 = one per host CPU). The native runs were previously computed
+// serially after the sweep finished, making verification the long pole on
+// large verified grids; the checksums are independent, so they parallelize
+// like the sweep itself.
+func VerifyParallel(records []Record, parallel int) {
+	seen := map[NativeKey]bool{}
+	var keys []NativeKey
 	for i := range records {
 		r := &records[i]
 		if r.Error != "" {
 			continue
 		}
-		k := key{r.Workload, r.Threads, r.Scale}
-		want, ok := native[k]
-		if !ok {
-			w, found := workloads.Get(r.Workload)
-			if !found {
-				continue
-			}
-			want = w.Native(workloads.Params{Threads: r.Threads, Scale: r.Scale})
-			native[k] = want
+		k := NativeKey{r.Workload, r.Threads, r.Scale}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
 		}
-		ok2 := workloads.Close(r.Checksum, want)
-		r.ChecksumOK = &ok2
+	}
+	if len(keys) == 0 {
+		return
+	}
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	native := make([]float64, len(keys))
+	known := make([]bool, len(keys))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				native[i], known[i] = NativeChecksum(keys[i])
+			}
+		}()
+	}
+	for i := range keys {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	byKey := make(map[NativeKey]float64, len(keys))
+	for i, k := range keys {
+		if known[i] {
+			byKey[k] = native[i]
+		}
+	}
+	for i := range records {
+		r := &records[i]
+		if r.Error != "" {
+			continue
+		}
+		want, found := byKey[NativeKey{r.Workload, r.Threads, r.Scale}]
+		if !found {
+			continue
+		}
+		ok := workloads.Close(r.Checksum, want)
+		r.ChecksumOK = &ok
 	}
 }
 

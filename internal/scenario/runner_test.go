@@ -133,7 +133,7 @@ func TestSerialForcedByWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !serialScenario(s, specs) {
+	if !NeedsSerial(s, specs) {
 		t.Fatal("Workers-pinning scenario not forced serial")
 	}
 	s2 := detScenario()
@@ -141,11 +141,11 @@ func TestSerialForcedByWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if serialScenario(s2, specs2) {
+	if NeedsSerial(s2, specs2) {
 		t.Fatal("plain scenario wrongly forced serial")
 	}
 	s2.Serial = true
-	if !serialScenario(s2, specs2) {
+	if !NeedsSerial(s2, specs2) {
 		t.Fatal("Serial flag ignored")
 	}
 }

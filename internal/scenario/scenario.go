@@ -91,22 +91,26 @@ type Scenario struct {
 	Grids []Grid         `json:"grids"`
 }
 
-// RunSpec is one fully resolved run of an expanded scenario.
+// RunSpec is one fully resolved run of an expanded scenario. It is
+// JSON-round-trippable (config.Config is plain data), which is what lets
+// the dispatch package ship specs to remote workers: a worker decodes the
+// spec, executes it, and the recomputed config digest matches the
+// coordinator's.
 type RunSpec struct {
-	Scenario string
-	Run      int // global index across the scenario
-	Grid     int // index of the originating grid
-	Point    int // index within the grid's cross product
-	Repeat   int
-	Workload string
-	Threads  int
-	Scale    int
-	Seed     int64 // Config.RandSeed of this run
+	Scenario string `json:"scenario"`
+	Run      int    `json:"run"`   // global index across the scenario
+	Grid     int    `json:"grid"`  // index of the originating grid
+	Point    int    `json:"point"` // index within the grid's cross product
+	Repeat   int    `json:"repeat"`
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+	Scale    int    `json:"scale"`
+	Seed     int64  `json:"seed"` // Config.RandSeed of this run
 	// Axes records the axis values of this point (for the JSONL record).
-	Axes map[string]any
+	Axes map[string]any `json:"axes,omitempty"`
 	// TileStats embeds per-tile records in the run's Record.
-	TileStats bool
-	Config    config.Config
+	TileStats bool          `json:"tile_stats,omitempty"`
+	Config    config.Config `json:"config"`
 }
 
 // presets maps preset names to base configurations. "default" is the

@@ -72,13 +72,22 @@ type ProbeFunc func(target arch.TileID) (arch.Cycles, bool)
 
 // p2p implements LaxP2P.
 type p2p struct {
-	cfg    config.SyncConfig
-	self   arch.TileID
-	tiles  int
-	rng    *rand.Rand
-	probe  ProbeFunc
-	sleep  func(time.Duration)
+	cfg   config.SyncConfig
+	self  arch.TileID
+	tiles int
+	rng   *rand.Rand
+	probe ProbeFunc
+	sleep func(time.Duration)
+	// start/base anchor the rate measurement: the wall-clock time and the
+	// tile's simulated clock at the first Tick. Anchoring the wall clock
+	// alone at construction mis-scales the rate of a thread spawned
+	// mid-simulation: its clock starts at a large inherited value, so
+	// cycles it never executed are divided by only its own wall time —
+	// an overstated rate, naps far too short to let partners catch up
+	// (and, had construction preceded the thread's start by long enough,
+	// the opposite error). Both anchors must open at the same event.
 	start  time.Time
+	base   arch.Cycles
 	nowFn  func() time.Time
 	last   arch.Cycles
 	maxNap time.Duration
@@ -97,7 +106,6 @@ func NewP2P(cfg config.SyncConfig, self arch.TileID, tiles int, seed int64, prob
 		rng:    rand.New(rand.NewSource(seed ^ int64(self)*0x5851F42D4C957F2D)),
 		probe:  probe,
 		sleep:  sleep,
-		start:  time.Now(),
 		nowFn:  time.Now,
 		maxNap: 10 * time.Millisecond,
 	}
@@ -109,6 +117,12 @@ func NewP2P(cfg config.SyncConfig, self arch.TileID, tiles int, seed int64, prob
 // difference and r the tile's real-time simulation rate, so the partner
 // has caught up when it wakes (paper §3.6.3).
 func (p *p2p) Tick(now arch.Cycles) {
+	if p.start.IsZero() {
+		// Lazy anchor: the rate window opens at the thread's first event,
+		// not at model construction (see the field comment).
+		p.start = p.nowFn()
+		p.base = now
+	}
 	if p.tiles < 2 || now-p.last < p.cfg.P2PInterval {
 		return
 	}
@@ -129,7 +143,7 @@ func (p *p2p) Tick(now arch.Cycles) {
 	if elapsed <= 0 {
 		return
 	}
-	rate := float64(now) / elapsed // simulated cycles per real second
+	rate := float64(now-p.base) / elapsed // simulated cycles per real second
 	if rate <= 0 {
 		return
 	}

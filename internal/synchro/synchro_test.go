@@ -161,3 +161,38 @@ func TestNapFor(t *testing.T) {
 		t.Fatal("degenerate inputs must nap 0")
 	}
 }
+
+func TestP2PRateAnchorsAtFirstTick(t *testing.T) {
+	var naps []time.Duration
+	cfg := config.SyncConfig{P2PSlack: 1000, P2PInterval: 100}
+	m := NewP2P(cfg, 0, 2, 7,
+		func(arch.TileID) (arch.Cycles, bool) { return 0, true }, // partner far behind
+		func(d time.Duration) { naps = append(naps, d) },
+	).(*p2p)
+	now := time.Unix(1000, 0)
+	m.nowFn = func() time.Time { return now }
+	m.maxNap = time.Hour // expose the raw nap computation
+
+	// A thread spawned mid-simulation inherits a clock of 1M cycles. Its
+	// first Tick must open the rate-measurement window here — zero elapsed
+	// wall time, 1M-cycle baseline — so no rate exists yet and no nap is
+	// taken even though the partner is far behind.
+	m.Tick(1_000_000)
+	if len(naps) != 0 {
+		t.Fatalf("napped on the anchoring tick: %v", naps)
+	}
+
+	// One real second later it has executed 100k further cycles: the rate
+	// is 100k cycles/sec measured from the first Tick. The old
+	// construction-time anchor folded the inherited 1M cycles into the
+	// rate (1.1M cyc/s here — 11x overstated), cutting naps to a
+	// fraction of what the partner needs to catch up.
+	now = now.Add(time.Second)
+	m.Tick(1_100_000)
+	if len(naps) != 1 {
+		t.Fatalf("naps = %v, want exactly one", naps)
+	}
+	if want := NapFor(1_100_000, 100_000); naps[0] != want {
+		t.Fatalf("nap = %v, want %v (rate measured from first tick)", naps[0], want)
+	}
+}

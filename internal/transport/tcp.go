@@ -285,6 +285,16 @@ func (t *tcpTransport) Send(dst EndpointID, data []byte) error {
 		}
 		return b.put(data)
 	}
+	// The remote path must observe Close just like the local path does:
+	// after Close the peer connections are being torn down, and letting a
+	// send race them surfaces as a raw bufio/conn write error instead of
+	// the documented ErrClosed.
+	t.mu.RLock()
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
 	if int(owner) >= len(t.peers) || t.peers[owner] == nil {
 		return fmt.Errorf("transport: no connection to process %d", owner)
 	}
@@ -298,12 +308,30 @@ func (t *tcpTransport) Send(dst EndpointID, data []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, err := p.w.Write(hdr[:]); err != nil {
-		return err
+		return t.closedOr(err)
 	}
 	if _, err := p.w.Write(data); err != nil {
-		return err
+		return t.closedOr(err)
 	}
-	return p.w.Flush()
+	return t.closedOr(p.w.Flush())
+}
+
+// closedOr maps a peer write error to ErrClosed when Close raced the
+// write: the pre-write closed check is check-then-act, so a Close landing
+// between it and the conn write still surfaces here, and callers are
+// promised ErrClosed — not a raw "use of closed network connection" —
+// once Close has begun.
+func (t *tcpTransport) closedOr(err error) error {
+	if err == nil {
+		return nil
+	}
+	t.mu.RLock()
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	return err
 }
 
 // SendBatch implements Transport. Remote batches travel as one flagged
@@ -330,6 +358,12 @@ func (t *tcpTransport) SendBatch(dst EndpointID, frames [][]byte) error {
 		}
 		return b.putBatch(frames)
 	}
+	t.mu.RLock()
+	tClosed := t.closed
+	t.mu.RUnlock()
+	if tClosed {
+		return ErrClosed
+	}
 	if int(owner) >= len(t.peers) || t.peers[owner] == nil {
 		return fmt.Errorf("transport: no connection to process %d", owner)
 	}
@@ -355,19 +389,19 @@ func (t *tcpTransport) SendBatch(dst EndpointID, frames [][]byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, err := p.w.Write(hdr[:]); err != nil {
-		return err
+		return t.closedOr(err)
 	}
 	var sub [4]byte
 	for _, f := range frames {
 		binary.LittleEndian.PutUint32(sub[:], uint32(len(f)))
 		if _, err := p.w.Write(sub[:]); err != nil {
-			return err
+			return t.closedOr(err)
 		}
 		if _, err := p.w.Write(f); err != nil {
-			return err
+			return t.closedOr(err)
 		}
 	}
-	return p.w.Flush()
+	return t.closedOr(p.w.Flush())
 }
 
 // Close implements Transport.

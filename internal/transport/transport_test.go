@@ -344,3 +344,38 @@ func TestTCPOversizeFrameRejected(t *testing.T) {
 		t.Fatal("oversize frame accepted")
 	}
 }
+
+func TestTCPSendAfterCloseReturnsErrClosed(t *testing.T) {
+	addrs := tcpAddrs(t, 2)
+	var trs [2]Transport
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			trs[p], _ = DialTCP(TCPConfig{Proc: arch.ProcID(p), Procs: 2, Addrs: addrs, DialTimeout: 5 * time.Second})
+		}(p)
+	}
+	wg.Wait()
+	defer trs[1].Close()
+	if trs[0] == nil || trs[1] == nil {
+		t.Fatal("dial failed")
+	}
+	if _, err := trs[0].Register(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Local destination (tile 0) and remote destination (tile 1) must both
+	// report the transport's closed state, not a raw connection error.
+	if err := trs[0].Send(0, []byte("x")); err != ErrClosed {
+		t.Fatalf("local Send after Close = %v, want ErrClosed", err)
+	}
+	if err := trs[0].Send(1, []byte("x")); err != ErrClosed {
+		t.Fatalf("remote Send after Close = %v, want ErrClosed", err)
+	}
+	if err := trs[0].SendBatch(1, [][]byte{[]byte("a"), []byte("b")}); err != ErrClosed {
+		t.Fatalf("remote SendBatch after Close = %v, want ErrClosed", err)
+	}
+}

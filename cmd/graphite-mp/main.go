@@ -2,33 +2,39 @@
 // separate OS processes connected by TCP — the deployment mode of the
 // paper's cluster experiments. The coordinator (proc 0) hosts the MCP and
 // prints results; workers host their striped tiles and exit when the
-// coordinator tears the fabric down.
+// coordinator announces teardown (and acknowledges it — see DESIGN.md
+// §12).
 //
-// Run each process with the same flags, varying only -proc:
-//
-//	graphite-mp -procs 2 -proc 1 -workload radix &
-//	graphite-mp -procs 2 -proc 0 -workload radix
-//
-// Or let the coordinator fork the workers itself:
+// Single machine, coordinator forks the workers itself:
 //
 //	graphite-mp -procs 2 -workload radix -fork
+//
+// Multiple machines: give every process the full host list (the same
+// -hosts on each, or a shared -hostfile) and its own -proc. Start the
+// workers first or within the connect timeout; processes may come up in
+// any order:
+//
+//	hostB$ graphite-mp -procs 2 -proc 1 -hosts hostA:36400,hostB:36400 -workload radix
+//	hostA$ graphite-mp -procs 2 -proc 0 -hosts hostA:36400,hostB:36400 -workload radix
+//
+// Without -hosts, consecutive localhost ports starting at -port are used.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
+	"time"
 
-	"repro/internal/arch"
 	"repro/internal/config"
-	"repro/internal/core"
-	"repro/internal/stats"
-	"repro/internal/transport"
+	"repro/internal/core/launch"
 	"repro/internal/workloads"
 )
 
 func main() {
+	// Forked worker copies of this binary enter here and never return.
+	launch.MaybeWorkerProcess()
+
 	var (
 		name    = flag.String("workload", "radix", "workload name")
 		tiles   = flag.Int("tiles", 16, "target tiles")
@@ -36,8 +42,11 @@ func main() {
 		scale   = flag.Int("scale", 0, "problem size (default: workload default)")
 		procs   = flag.Int("procs", 2, "OS processes")
 		procID  = flag.Int("proc", 0, "this process's ID")
-		port    = flag.Int("port", 36400, "first TCP port")
-		fork    = flag.Bool("fork", false, "coordinator forks the workers")
+		port    = flag.Int("port", 36400, "first TCP port (localhost default when -hosts is not given)")
+		hosts   = flag.String("hosts", "", "comma-separated host:port list, one per process, same order everywhere")
+		hostf   = flag.String("hostfile", "", "file with one host:port per line (alternative to -hosts)")
+		fork    = flag.Bool("fork", false, "coordinator forks the workers on this machine")
+		dialTO  = flag.Duration("connect-timeout", 30*time.Second, "how long to retry fabric connections while peers come up")
 	)
 	flag.Parse()
 
@@ -51,6 +60,16 @@ func main() {
 	}
 	if *scale == 0 {
 		*scale = w.DefaultScale
+	}
+	if *procs < 1 {
+		fmt.Fprintf(os.Stderr, "-procs must be positive, got %d\n", *procs)
+		os.Exit(2)
+	}
+
+	hostList, err := resolveHosts(*hosts, *hostf, *procs, *port)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	cfg := config.Default()
@@ -66,74 +85,92 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *fork && *procID == 0 {
-		for p := 1; p < *procs; p++ {
-			cmd := exec.Command(os.Args[0],
-				"-workload", *name,
-				"-tiles", fmt.Sprint(*tiles),
-				"-threads", fmt.Sprint(*threads),
-				"-scale", fmt.Sprint(*scale),
-				"-procs", fmt.Sprint(*procs),
-				"-proc", fmt.Sprint(p),
-				"-port", fmt.Sprint(*port))
-			cmd.Stdout = os.Stderr
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
-				fmt.Fprintln(os.Stderr, "fork worker:", err)
-				os.Exit(1)
-			}
-			defer cmd.Wait()
-		}
-	}
-
-	addrs := make([]string, *procs)
-	for p := range addrs {
-		addrs[p] = fmt.Sprintf("127.0.0.1:%d", *port+p)
-	}
-	tr, err := transport.DialTCP(transport.TCPConfig{
-		Proc:  arch.ProcID(*procID),
-		Procs: *procs,
-		Addrs: addrs,
-		Route: transport.StripedRoute(*procs),
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "transport:", err)
-		os.Exit(1)
-	}
-	defer tr.Close()
-
-	prog := w.Build(workloads.Params{Threads: *threads, Scale: *scale})
-	proc, err := core.NewProc(arch.ProcID(*procID), &cfg, prog, tr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "proc:", err)
-		os.Exit(1)
-	}
-	proc.Start()
-
-	done := make(chan struct{})
-	proc.OnShutdown = func() { close(done) }
-
 	if *procID != 0 {
-		// Workers serve until the coordinator announces teardown.
-		fmt.Fprintf(os.Stderr, "[proc %d] serving %d tiles\n", *procID, len(proc.Tiles()))
-		<-done
+		// Worker role, launched by hand (possibly on another machine).
+		if *fork {
+			fmt.Fprintln(os.Stderr, "-fork is the coordinator's flag; workers are forked or started by hand, not both")
+			os.Exit(2)
+		}
+		err := launch.RunWorker(&launch.WorkerSpec{
+			Proc:          *procID,
+			Hosts:         hostList,
+			Workload:      *name,
+			Threads:       *threads,
+			Scale:         *scale,
+			DialTimeoutMS: int(dialTO.Milliseconds()),
+			Verbose:       true,
+			Config:        cfg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
-	// Coordinator: run the application through the MCP.
+	spec := &launch.Spec{
+		Workload:      *name,
+		Threads:       *threads,
+		Scale:         *scale,
+		Config:        cfg,
+		Hosts:         hostList,
+		DialTimeout:   *dialTO,
+		WorkerVerbose: true,
+	}
 	fmt.Printf("running %s on %d tiles across %d OS processes\n", *name, *tiles, *procs)
-	if err := proc.MCP.StartMain(0); err != nil {
+	var res *launch.Result
+	if *fork {
+		// launch.Run forks the workers and guarantees they are killed and
+		// reaped on every exit path, signals included.
+		res, err = launch.Run(spec)
+	} else {
+		res, err = launch.Coordinate(spec)
+	}
+	if res != nil && res.Stats != nil {
+		totals := res.Stats.Totals
+		fmt.Printf("simulated cycles  %d\n", totals.MaxCycles)
+		fmt.Printf("instructions      %d\n", totals.Instructions)
+		fmt.Printf("loads / stores    %d / %d\n", totals.Loads, totals.Stores)
+		fmt.Printf("L2 miss rate      %.4f%%\n", 100*totals.MissRate())
+		fmt.Printf("network bytes     %d\n", totals.NetBytesSent)
+		for _, ps := range res.Procs {
+			status := "no teardown ack"
+			if ps.Acked {
+				status = fmt.Sprintf("wall %.3fs", ps.Wall.Seconds())
+			}
+			fmt.Printf("proc %d            %s\n", ps.Proc, status)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	<-proc.MCP.Done()
-	proc.MCP.FlushCaches()
-	tilesStats := proc.MCP.GatherStats()
-	totals := stats.Aggregate(tilesStats)
-	fmt.Printf("simulated cycles  %d\n", totals.MaxCycles)
-	fmt.Printf("instructions      %d\n", totals.Instructions)
-	fmt.Printf("loads / stores    %d / %d\n", totals.Loads, totals.Stores)
-	fmt.Printf("L2 miss rate      %.4f%%\n", 100*totals.MissRate())
-	fmt.Printf("network bytes     %d\n", totals.NetBytesSent)
-	proc.MCP.ShutdownWorkers()
+}
+
+// resolveHosts builds the per-process fabric address list from -hosts,
+// -hostfile, or consecutive localhost ports at -port.
+func resolveHosts(list, file string, procs, port int) ([]string, error) {
+	if list != "" && file != "" {
+		return nil, fmt.Errorf("-hosts and -hostfile are mutually exclusive")
+	}
+	var hosts []string
+	var err error
+	switch {
+	case list != "":
+		hosts, err = launch.ParseHosts(list)
+	case file != "":
+		hosts, err = launch.ReadHostsFile(file)
+	default:
+		hosts = make([]string, procs)
+		for p := range hosts {
+			hosts[p] = fmt.Sprintf("127.0.0.1:%d", port+p)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(hosts) != procs {
+		return nil, fmt.Errorf("%d hosts for %d processes", len(hosts), procs)
+	}
+	return hosts, nil
 }

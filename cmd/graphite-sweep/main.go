@@ -38,12 +38,17 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core/launch"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/scenario/dispatch"
 )
 
 func main() {
+	// Scenarios with processes > 1 fork worker copies of this binary;
+	// those copies enter here and never return.
+	launch.MaybeWorkerProcess()
+
 	var (
 		scenarioPath = flag.String("scenario", "", "scenario file to run (overrides -exp)")
 		parallel     = flag.Int("parallel", 0, "worker pool size for scenario/worker runs (0 = host CPUs)")

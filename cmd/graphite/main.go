@@ -16,12 +16,17 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/core/launch"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 func main() {
+	// If a multi-process run ever forks copies of this binary as fabric
+	// workers, those copies enter here and never return.
+	launch.MaybeWorkerProcess()
+
 	var (
 		name      = flag.String("workload", "radix", "workload name (see -list)")
 		list      = flag.Bool("list", false, "list workloads and exit")

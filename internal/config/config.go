@@ -526,6 +526,23 @@ func Default() Config {
 	}
 }
 
+// Canonical returns a copy with the host-execution fields — how the
+// simulation is executed, not what it simulates — reset to canonical
+// values. Two configurations with equal canonical forms describe the
+// identical target architecture: the same run striped across a different
+// number of OS processes, over a different transport, or with a different
+// GOMAXPROCS bound must produce identical results (paper §3.1: process
+// count is a performance knob, not a correctness one), so those fields
+// are excluded from the configuration digest recorded with every run.
+func (c Config) Canonical() Config {
+	c.Processes = 1
+	c.Transport = TransportChannel
+	c.TCPBase = 0
+	c.Workers = 0
+	c.CollectSkew = false
+	return c
+}
+
 // Validate checks the configuration for internal consistency.
 func (c *Config) Validate() error {
 	if c.Tiles <= 0 {

@@ -241,13 +241,7 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	for _, p := range c.procs {
-		for _, t := range p.Tiles() {
-			t.Net.Close()
-		}
-		p.lcpNet.Close()
-		if p.mcpNet != nil {
-			p.mcpNet.Close()
-		}
+		p.Close()
 	}
 	for _, tr := range c.transports {
 		if tr != nil {

@@ -1,0 +1,240 @@
+package launch
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mcp"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/workloads"
+)
+
+// Spec describes one simulation distributed across Config.Processes OS
+// processes.
+type Spec struct {
+	// Workload, Threads, Scale select the program (by registry name, so
+	// every process builds the identical Program).
+	Workload string
+	Threads  int
+	Scale    int
+	// Config is the simulation configuration; Config.Processes is the OS
+	// process count. Transport is forced to TCP.
+	Config config.Config
+	// Hosts lists every process's fabric listen address (host:port), by
+	// process ID. Empty: free localhost ports are allocated (Run only;
+	// Coordinate needs the addresses the workers were given).
+	Hosts []string
+	// DialTimeout bounds fabric connection setup (0: transport default).
+	DialTimeout time.Duration
+	// FabricID pins the run identity in the transport handshake (see
+	// transport.TCPConfig.FabricID). Run generates one when forking; a
+	// manual Coordinate over explicit hosts may leave it 0 (unchecked).
+	FabricID uint64
+	// PeekAddr/PeekLen select simulated memory to read back after the run
+	// (the workload result-readback window); PeekLen 0 skips the read.
+	PeekAddr arch.Addr
+	PeekLen  int
+	// WorkerVerbose forwards per-worker serve/teardown logs to stderr.
+	WorkerVerbose bool
+	// WorkerOutput receives forked workers' stdout+stderr (Run only;
+	// default os.Stderr).
+	WorkerOutput io.Writer
+}
+
+// Result is the outcome of a multi-process run.
+type Result struct {
+	// Stats mirrors the single-OS-process Cluster.Run outcome.
+	Stats *core.RunStats
+	// Peeked holds the PeekLen bytes at PeekAddr, read after caches were
+	// flushed.
+	Peeked []byte
+	// Procs reports each process's teardown acknowledgement and
+	// wall-clock serving time, indexed by process ID.
+	Procs []mcp.ProcShutdown
+}
+
+// workerExitGrace bounds how long workers may outlive their acknowledged
+// teardown before Run declares them stuck and kills them.
+const workerExitGrace = 15 * time.Second
+
+// Coordinate runs the proc-0 role of a multi-process simulation: host the
+// MCP and the striped proc-0 tiles, start the application, collect
+// results, and tear the fabric down with acknowledgement. The worker
+// processes must be launched separately (by Run on this machine, or by
+// hand/ssh on remote ones) with the same hosts list and config.
+// Processes == 1 is the degenerate single-process case: no workers, all
+// tiles local.
+func Coordinate(spec *Spec) (*Result, error) {
+	w, ok := workloads.Get(spec.Workload)
+	if !ok {
+		return nil, fmt.Errorf("launch: unknown workload %q", spec.Workload)
+	}
+	cfg := spec.Config
+	cfg.Transport = config.TransportTCP
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Processes == 1 is a degenerate but valid fabric: no peers, no
+	// workers, everything local (the single-process sanity check of the
+	// graphite-mp CLI).
+	if len(spec.Hosts) != cfg.Processes {
+		return nil, fmt.Errorf("launch: %d hosts for %d processes", len(spec.Hosts), cfg.Processes)
+	}
+	if cfg.Workers > 0 {
+		prev := runtime.GOMAXPROCS(cfg.Workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	tr, err := transport.DialTCP(transport.TCPConfig{
+		Proc:        0,
+		Procs:       cfg.Processes,
+		Addrs:       spec.Hosts,
+		Route:       transport.StripedRoute(cfg.Processes),
+		DialTimeout: spec.DialTimeout,
+		FabricID:    spec.FabricID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+
+	prog := w.Build(workloads.Params{Threads: spec.Threads, Scale: spec.Scale})
+	proc, err := core.NewProc(0, &cfg, prog, tr)
+	if err != nil {
+		return nil, err
+	}
+	defer proc.Close()
+	proc.Start()
+
+	start := time.Now()
+	if err := proc.MCP.StartMain(0); err != nil {
+		return nil, err
+	}
+	<-proc.MCP.Done()
+	wall := time.Since(start)
+	proc.Wait()
+	proc.MCP.FlushCaches()
+	tiles := proc.MCP.GatherStats()
+	totals := stats.Aggregate(tiles)
+
+	res := &Result{
+		Stats: &core.RunStats{
+			SimulatedCycles: totals.MaxCycles,
+			Wall:            wall,
+			Tiles:           tiles,
+			Totals:          totals,
+		},
+	}
+	// Read result memory while the remote home tiles are still serving —
+	// teardown comes after.
+	if spec.PeekLen > 0 {
+		res.Peeked = make([]byte, spec.PeekLen)
+		proc.Tiles()[0].Mem.Peek(spec.PeekAddr, res.Peeked)
+	}
+	res.Procs = proc.MCP.ShutdownWorkers()
+	for _, ps := range res.Procs {
+		if !ps.Acked {
+			return res, fmt.Errorf("launch: process %d never acknowledged teardown", ps.Proc)
+		}
+	}
+	return res, nil
+}
+
+// Run executes a multi-process simulation entirely on this machine: it
+// forks Config.Processes-1 worker copies of the current binary (which
+// must call MaybeWorkerProcess; see WorkerEnv), coordinates the run, and
+// guarantees the workers are gone when it returns — kill-and-reap on
+// every failure path, bounded-grace reap after a clean teardown.
+func Run(spec *Spec) (*Result, error) {
+	s := *spec
+	procs := s.Config.Processes
+	if procs < 1 {
+		return nil, fmt.Errorf("launch: %d processes", procs)
+	}
+	if s.FabricID == 0 {
+		// Auto-allocated localhost ports can be recycled between
+		// concurrent runs; a fresh fabric ID makes any cross-connect
+		// fail the handshake instead of interleaving two simulations.
+		var buf [8]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return nil, fmt.Errorf("launch: fabric id: %w", err)
+		}
+		s.FabricID = binary.LittleEndian.Uint64(buf[:])
+	}
+	if len(s.Hosts) == 0 {
+		hosts, err := LocalHosts(procs)
+		if err != nil {
+			return nil, err
+		}
+		s.Hosts = hosts
+	}
+	if len(s.Hosts) != procs {
+		return nil, fmt.Errorf("launch: %d hosts for %d processes", len(s.Hosts), procs)
+	}
+	if err := checkLoopback(s.Hosts); err != nil {
+		return nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("launch: %w", err)
+	}
+	workerOut := s.WorkerOutput
+	if workerOut == nil {
+		workerOut = os.Stderr
+	}
+
+	cfg := s.Config
+	cfg.Transport = config.TransportTCP
+	g := &Group{}
+	for p := 1; p < procs; p++ {
+		payload, err := json.Marshal(&WorkerSpec{
+			Proc:          p,
+			Hosts:         s.Hosts,
+			Workload:      s.Workload,
+			Threads:       s.Threads,
+			Scale:         s.Scale,
+			DialTimeoutMS: int(s.DialTimeout / time.Millisecond),
+			FabricID:      s.FabricID,
+			Verbose:       s.WorkerVerbose,
+			Config:        cfg,
+		})
+		if err != nil {
+			g.Kill()
+			g.Wait()
+			return nil, fmt.Errorf("launch: encode worker spec: %w", err)
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), WorkerEnv+"="+string(payload))
+		cmd.Stdout = workerOut
+		cmd.Stderr = workerOut
+		if err := g.Start(cmd); err != nil {
+			g.Kill()
+			g.Wait()
+			return nil, err
+		}
+	}
+
+	res, err := Coordinate(&s)
+	if err != nil {
+		g.Kill()
+		g.Wait()
+		return res, err
+	}
+	// Every process acknowledged teardown; the workers are past their
+	// last send and exiting. Reap them, with a kill as the backstop.
+	if err := g.WaitTimeout(workerExitGrace); err != nil {
+		return res, fmt.Errorf("launch: %w", err)
+	}
+	return res, nil
+}

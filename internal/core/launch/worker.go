@@ -1,0 +1,125 @@
+package launch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/workloads"
+)
+
+// WorkerEnv is the environment variable through which Run hands a forked
+// worker its role. A binary that may coordinate multi-process runs must
+// call MaybeWorkerProcess at the very top of main (and a test binary in
+// TestMain) so its forked copies become workers instead of re-running the
+// CLI.
+const WorkerEnv = "GRAPHITE_MP_WORKER"
+
+// WorkerSpec fully describes one worker process's role: which process it
+// is, where every process listens, and the simulation it serves. It is
+// the JSON payload of WorkerEnv and the flag set of a manually launched
+// graphite-mp worker.
+type WorkerSpec struct {
+	// Proc is this worker's process ID (1..Config.Processes-1).
+	Proc int `json:"proc"`
+	// Hosts lists every process's fabric listen address, by process ID.
+	Hosts []string `json:"hosts"`
+	// Workload, Threads, Scale rebuild the program; every process of one
+	// simulation must construct the identical Program (paper §3.5).
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+	Scale    int    `json:"scale"`
+	// DialTimeoutMS bounds fabric connection setup (0: transport default).
+	DialTimeoutMS int `json:"dial_timeout_ms,omitempty"`
+	// FabricID pins the run identity in the transport handshake so
+	// concurrent runs racing over recycled localhost ports cannot
+	// cross-connect (0: unchecked — manual multi-host launches).
+	FabricID uint64 `json:"fabric_id,omitempty"`
+	// Verbose logs serve/teardown progress to stderr.
+	Verbose bool `json:"verbose,omitempty"`
+	// Config is the full simulation configuration, identical across
+	// processes (the config digest recorded by the coordinator covers it).
+	Config config.Config `json:"config"`
+}
+
+// MaybeWorkerProcess turns the current process into a fabric worker when
+// WorkerEnv is set, and never returns in that case. It is a no-op
+// otherwise. Call it before any flag parsing.
+func MaybeWorkerProcess() {
+	payload := os.Getenv(WorkerEnv)
+	if payload == "" {
+		return
+	}
+	os.Unsetenv(WorkerEnv)
+	var ws WorkerSpec
+	if err := json.Unmarshal([]byte(payload), &ws); err != nil {
+		fmt.Fprintln(os.Stderr, "graphite worker: bad spec:", err)
+		os.Exit(2)
+	}
+	if err := RunWorker(&ws); err != nil {
+		fmt.Fprintf(os.Stderr, "graphite worker %d: %v\n", ws.Proc, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunWorker serves one worker process role to completion: attach to the
+// fabric, host this process's striped tiles, and exit when the
+// coordinator announces teardown. The shutdown callback is installed
+// before Start — the documented core.Proc contract — so a coordinator
+// tearing down immediately after startup cannot strand the worker.
+func RunWorker(ws *WorkerSpec) error {
+	w, ok := workloads.Get(ws.Workload)
+	if !ok {
+		return fmt.Errorf("launch: unknown workload %q", ws.Workload)
+	}
+	cfg := ws.Config
+	cfg.Transport = config.TransportTCP
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(ws.Hosts) != cfg.Processes {
+		return fmt.Errorf("launch: %d hosts for %d processes", len(ws.Hosts), cfg.Processes)
+	}
+	if ws.Proc <= 0 || ws.Proc >= cfg.Processes {
+		return fmt.Errorf("launch: worker proc %d out of range (1..%d)", ws.Proc, cfg.Processes-1)
+	}
+	tr, err := transport.DialTCP(transport.TCPConfig{
+		Proc:        arch.ProcID(ws.Proc),
+		Procs:       cfg.Processes,
+		Addrs:       ws.Hosts,
+		Route:       transport.StripedRoute(cfg.Processes),
+		DialTimeout: time.Duration(ws.DialTimeoutMS) * time.Millisecond,
+		FabricID:    ws.FabricID,
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	prog := w.Build(workloads.Params{Threads: ws.Threads, Scale: ws.Scale})
+	proc, err := core.NewProc(arch.ProcID(ws.Proc), &cfg, prog, tr)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	proc.OnShutdown = func() { close(done) }
+	proc.Start()
+	if ws.Verbose {
+		fmt.Fprintf(os.Stderr, "[proc %d] serving %d tiles on %s\n", ws.Proc, len(proc.Tiles()), ws.Hosts[ws.Proc])
+	}
+	<-done
+	// The teardown ack is already on the wire (the LCP acknowledges
+	// before this callback fires); quiesce and leave.
+	proc.Wait()
+	proc.Close()
+	if ws.Verbose {
+		fmt.Fprintf(os.Stderr, "[proc %d] teardown acknowledged, exiting\n", ws.Proc)
+	}
+	return nil
+}

@@ -189,3 +189,16 @@ func (p *Proc) Tiles() []*Tile { return p.tileList }
 
 // Wait blocks until all local application threads have returned.
 func (p *Proc) Wait() { p.threads.Wait() }
+
+// Close shuts down the process's network receive loops (every tile net,
+// the LCP net, and the MCP net on process 0). The transport itself belongs
+// to the caller and is closed separately.
+func (p *Proc) Close() {
+	for _, t := range p.tileList {
+		t.Net.Close()
+	}
+	p.lcpNet.Close()
+	if p.mcpNet != nil {
+		p.mcpNet.Close()
+	}
+}

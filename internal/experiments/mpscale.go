@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"repro/internal/config"
+	"repro/internal/scenario"
+)
+
+// MPScalePoint is one (OS processes, wall time) measurement of a single
+// distributed simulation.
+type MPScalePoint struct {
+	Processes   int
+	WallSec     float64
+	Speedup     float64 // versus 1 process
+	ProcWallSec []float64
+	// Identical reports whether this point's checksum, config digest,
+	// and stats counters match the 1-process reference exactly.
+	Identical bool
+}
+
+// MPScaleResult is the single-host rehearsal of the paper's §4.2
+// multi-machine study: one simulation striped across growing numbers of
+// genuinely separate OS processes (TCP fabric, forked workers), with the
+// result-identity contract checked at every point.
+type MPScaleResult struct {
+	Workload     string
+	Tiles        int
+	ConfigDigest string
+	Points       []MPScalePoint
+}
+
+// MPScale runs the OS-process scaling study. The analytical (no-queue)
+// network and DRAM models keep the target's timing striping-invariant
+// (DESIGN.md §12), so every process count must reproduce the 1-process
+// record bit for bit.
+func MPScale(pr Preset, counts []int) (*MPScaleResult, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4}
+	}
+	const workload = "fft"
+	tiles, scale := 8, 4
+	switch pr {
+	case Standard:
+		tiles, scale = 16, 5
+	case Full:
+		tiles, scale = 32, 6
+	}
+	cfg := baseConfig(tiles)
+	cfg.MemNet = config.NetworkConfig{Kind: config.NetMeshHop, HopLatency: 2, LinkBandwidth: 32}
+	cfg.DRAM.QueueModel = false
+
+	res := &MPScaleResult{Workload: workload, Tiles: tiles, ConfigDigest: scenario.Digest(&cfg)}
+	point := func(m int) scenario.RunSpec {
+		spec := scenario.RunSpec{
+			Scenario: "mpscale",
+			Workload: workload,
+			Threads:  1,
+			Scale:    scale,
+			Seed:     cfg.RandSeed,
+			Config:   cfg,
+		}
+		if m > 1 {
+			spec.Processes = m
+		}
+		return spec
+	}
+	// The baseline is always the 1-process run, whatever counts holds —
+	// Speedup and Identical are documented against it.
+	refSpec := point(1)
+	ref := scenario.Execute(&refSpec)
+	if ref.Error != "" {
+		return nil, fmt.Errorf("mpscale reference run: %s", ref.Error)
+	}
+	base := ref.WallSec
+	for _, m := range counts {
+		rec := ref
+		if m != 1 {
+			spec := point(m)
+			rec = scenario.Execute(&spec)
+			if rec.Error != "" {
+				return nil, fmt.Errorf("mpscale %d processes: %s", m, rec.Error)
+			}
+		}
+		res.Points = append(res.Points, MPScalePoint{
+			Processes:   m,
+			WallSec:     rec.WallSec,
+			Speedup:     base / rec.WallSec,
+			ProcWallSec: rec.ProcWallSec,
+			Identical: rec.Checksum == ref.Checksum &&
+				rec.ConfigDigest == ref.ConfigDigest &&
+				rec.SimCycles == ref.SimCycles &&
+				reflect.DeepEqual(rec.Stats, ref.Stats),
+		})
+	}
+	return res, nil
+}
+
+// Print renders the scaling series.
+func (r *MPScaleResult) Print(w io.Writer) {
+	fprintf(w, "Single-simulation scaling across OS processes (%s, %d tiles, 1 thread)\n",
+		r.Workload, r.Tiles)
+	fprintf(w, "%10s %12s %10s %10s  %s\n", "processes", "wall-sec", "speedup", "identical", "per-proc wall")
+	for _, p := range r.Points {
+		fprintf(w, "%10d %12.3f %9.2fx %10v  %v\n", p.Processes, p.WallSec, p.Speedup, p.Identical, p.ProcWallSec)
+	}
+}

@@ -113,6 +113,18 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			Name:    "mpscale",
+			Summary: "single-simulation scaling across OS processes (§4.2, single host)",
+			Run: func(w io.Writer, o Options) error {
+				r, err := MPScale(o.Preset, o.Sizes)
+				if err != nil {
+					return err
+				}
+				r.Print(w)
+				return nil
+			},
+		},
+		{
 			Name:    "fig8",
 			Summary: "cache miss breakdown versus line size",
 			Run: func(w io.Writer, o Options) error {

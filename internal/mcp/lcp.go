@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/network"
@@ -33,13 +34,14 @@ type LCP struct {
 	proc    arch.ProcID
 	net     *network.Net
 	cb      LCPCallbacks
+	started time.Time
 	stopped chan struct{}
 }
 
 // NewLCP builds the LCP for one process. net must be registered on the
 // process's LCP endpoint.
 func NewLCP(proc arch.ProcID, net *network.Net, cb LCPCallbacks) *LCP {
-	return &LCP{proc: proc, net: net, cb: cb, stopped: make(chan struct{})}
+	return &LCP{proc: proc, net: net, cb: cb, started: time.Now(), stopped: make(chan struct{})}
 }
 
 // Stopped is closed when the serve loop exits.
@@ -75,6 +77,14 @@ func (l *LCP) Serve() {
 				panic("mcp: flush reply: " + err.Error())
 			}
 		case MsgShutdown:
+			// Acknowledge-then-close: the ack (carrying this process's
+			// wall-clock serving time) must be on the wire before the
+			// Shutdown callback runs, because worker processes exit from
+			// that callback and tear the transport down with them.
+			wall := time.Since(l.started)
+			if _, err := l.net.Send(network.ClassSystem, MsgShutdownRep, pkt.Src, pkt.Seq, EncodeU64(uint64(wall.Nanoseconds())), 0); err != nil && !errors.Is(err, transport.ErrClosed) {
+				panic("mcp: shutdown ack: " + err.Error())
+			}
 			if l.cb.Shutdown != nil {
 				l.cb.Shutdown()
 			}

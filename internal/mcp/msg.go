@@ -77,6 +77,12 @@ const (
 	MsgFlush
 	MsgFlushRep
 	MsgShutdown
+	// MsgShutdownRep acknowledges MsgShutdown. The LCP sends it *before*
+	// invoking its Shutdown callback, carrying the process's wall-clock
+	// serving time in nanoseconds, so the MCP knows every worker saw the
+	// teardown (acknowledge-then-close) and can report per-process wall
+	// time.
+	MsgShutdownRep
 )
 
 // MsgName returns a human-readable message name for diagnostics.
@@ -87,7 +93,7 @@ func MsgName(t uint8) string {
 		"MutexUnlock", "BarrierWait", "BarrierRep", "CondWait", "CondRep",
 		"CondSignal", "CondBroadcast", "Malloc", "MallocRep", "Free",
 		"SimBarrier", "SimBarrierRep", "FileOp", "FileRep", "StatsGather",
-		"StatsRep", "Flush", "FlushRep", "Shutdown",
+		"StatsRep", "Flush", "FlushRep", "Shutdown", "ShutdownRep",
 	}
 	if int(t) < len(names) {
 		return names[t]

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -85,8 +86,15 @@ type Server struct {
 
 	statsCh chan []stats.Tile
 	flushCh chan struct{}
+	shutCh  chan shutdownAck
 	doneCh  chan struct{}
 	stopped chan struct{}
+}
+
+// shutdownAck is one LCP's acknowledgement of teardown.
+type shutdownAck struct {
+	proc arch.ProcID
+	wall time.Duration
 }
 
 // NewServer builds the MCP. net must be registered on the MCP endpoint.
@@ -105,6 +113,7 @@ func NewServer(cfg *config.Config, net *network.Net) *Server {
 		simWaits: make(map[arch.TileID]*simWait),
 		statsCh:  make(chan []stats.Tile, cfg.Processes),
 		flushCh:  make(chan struct{}, cfg.Processes),
+		shutCh:   make(chan shutdownAck, cfg.Processes),
 		doneCh:   make(chan struct{}),
 		stopped:  make(chan struct{}),
 	}
@@ -207,6 +216,17 @@ func (s *Server) handle(pkt network.Packet) {
 		s.statsCh <- tiles
 	case MsgFlushRep:
 		s.flushCh <- struct{}{}
+	case MsgShutdownRep:
+		ns, err := DecodeU64(pkt.Payload)
+		if err != nil {
+			panic("mcp: bad shutdown ack: " + err.Error())
+		}
+		// The sender is an LCP; its endpoint encodes the process ID.
+		proc, ok := transport.LCPProc(transport.EndpointID(pkt.Src))
+		if !ok {
+			panic(fmt.Sprintf("mcp: shutdown ack from non-LCP endpoint %d", pkt.Src))
+		}
+		s.shutCh <- shutdownAck{proc: proc, wall: time.Duration(ns)}
 	}
 }
 
@@ -527,13 +547,62 @@ func (s *Server) GatherStats() []stats.Tile {
 	return byTile
 }
 
-// ShutdownWorkers announces teardown to every LCP. Worker OS processes
-// use it to exit; in-process simulations ignore it.
-func (s *Server) ShutdownWorkers() {
+// ProcShutdown reports one host process's teardown acknowledgement.
+type ProcShutdown struct {
+	Proc arch.ProcID
+	// Wall is the process's wall-clock serving time (LCP construction to
+	// shutdown ack), valid when Acked.
+	Wall time.Duration
+	// Acked reports whether the process acknowledged teardown before the
+	// deadline. An unacked worker may still be running.
+	Acked bool
+}
+
+// shutdownAckTimeout bounds how long ShutdownWorkers waits for teardown
+// acknowledgements. Acks arrive in milliseconds on a healthy fabric; a
+// worker that stays silent this long has crashed or hung, and the
+// coordinator must report that rather than block forever.
+const shutdownAckTimeout = 15 * time.Second
+
+// ShutdownWorkers announces teardown to every LCP and waits for each to
+// acknowledge (acknowledge-then-close: workers send the ack before their
+// Shutdown callback exits the process, so a full set of acks means every
+// worker saw the teardown and is past its last fabric send). The returned
+// slice, indexed by process, carries per-process wall times. In-process
+// simulations with no Shutdown callbacks still ack; callers that don't
+// care may ignore the result.
+func (s *Server) ShutdownWorkers() []ProcShutdown {
+	out := make([]ProcShutdown, s.cfg.Processes)
+	announced := 0
+	for p := range out {
+		out[p].Proc = arch.ProcID(p)
+	}
 	for p := 0; p < s.cfg.Processes; p++ {
 		dst := arch.TileID(transport.LCP(arch.ProcID(p)))
-		s.net.Send(network.ClassSystem, MsgShutdown, dst, 0, nil, 0)
+		// A failed send (dead peer connection, closed transport) must not
+		// stop the announcement: the REMAINING workers still need their
+		// teardown, or they block forever. The failed process simply
+		// yields no ack.
+		if _, err := s.net.Send(network.ClassSystem, MsgShutdown, dst, 0, nil, 0); err == nil {
+			announced++
+		}
 	}
+	deadline := time.NewTimer(shutdownAckTimeout)
+	defer deadline.Stop()
+	for n := 0; n < announced; n++ {
+		select {
+		case ack := <-s.shutCh:
+			if int(ack.proc) < len(out) {
+				out[ack.proc].Wall = ack.wall
+				out[ack.proc].Acked = true
+			}
+		case <-s.stopped:
+			return out // serve loop gone (transport closed): no more acks
+		case <-deadline.C:
+			return out
+		}
+	}
+	return out
 }
 
 // FlushCaches asks every LCP to flush its tiles' caches and waits for

@@ -399,6 +399,7 @@ func (c *Coordinator) mergeRecord(i int, remote *scenario.Record) scenario.Recor
 	rec.Threads = spec.Threads
 	rec.Scale = spec.Scale
 	rec.Seed = spec.Seed
+	rec.Processes = spec.Processes
 	rec.Axes = spec.Axes
 	rec.ConfigDigest = c.digests[i]
 	// Verify or tile_stats turned off since a resumed record was

@@ -18,7 +18,9 @@ import (
 	"sync"
 
 	"repro/internal/arch"
+	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/core/launch"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -38,6 +40,9 @@ type Record struct {
 	Threads  int    `json:"threads"`
 	Scale    int    `json:"scale"`
 	Seed     int64  `json:"seed"`
+	// Processes is the OS process count of a distributed run (omitted for
+	// ordinary in-process runs).
+	Processes int `json:"processes,omitempty"`
 	// Axes holds this point's swept values, keyed by axis field.
 	Axes map[string]any `json:"axes,omitempty"`
 	// ConfigDigest is the SHA-256 of the run's full configuration.
@@ -60,7 +65,10 @@ type Record struct {
 	Tiles []stats.Tile `json:"tiles,omitempty"`
 	// WallSec is host wall-clock time — never deterministic.
 	WallSec float64 `json:"wall_sec"`
-	Error   string  `json:"error,omitempty"`
+	// ProcWallSec holds each OS process's wall-clock serving time (from
+	// startup to teardown ack), indexed by process, for distributed runs.
+	ProcWallSec []float64 `json:"proc_wall_sec,omitempty"`
+	Error       string    `json:"error,omitempty"`
 }
 
 // Options configures a runner invocation.
@@ -98,15 +106,20 @@ func RunExpanded(s *Scenario, specs []RunSpec, opt Options) ([]Record, error) {
 }
 
 // NeedsSerial reports whether the scenario must run with one worker per
-// host process (Serial scenarios, and runs that pin Config.Workers —
-// GOMAXPROCS is process-global). The dispatch coordinator forwards this to
-// workers so a distributed sweep honors the same constraint.
+// host process (Serial scenarios, runs that pin Config.Workers —
+// GOMAXPROCS is process-global — and multi-process runs with pinned
+// fabric addresses, which would collide if run concurrently). The
+// dispatch coordinator forwards this to workers so a distributed sweep
+// honors the same constraint.
 func NeedsSerial(s *Scenario, specs []RunSpec) bool {
 	if s.Serial {
 		return true
 	}
 	for i := range specs {
 		if specs[i].Config.Workers > 0 {
+			return true
+		}
+		if specs[i].Processes > 1 && len(specs[i].Hosts) > 0 {
 			return true
 		}
 	}
@@ -198,6 +211,9 @@ func ExecuteStats(spec *RunSpec) (Record, *core.RunStats) {
 		Axes:         spec.Axes,
 		ConfigDigest: Digest(&spec.Config),
 	}
+	if spec.Processes > 1 {
+		return executeMultiProcess(spec, rec)
+	}
 	w, ok := workloads.Get(spec.Workload)
 	if !ok {
 		rec.Error = fmt.Sprintf("unknown workload %q", spec.Workload)
@@ -217,6 +233,18 @@ func ExecuteStats(spec *RunSpec) (Record, *core.RunStats) {
 	}
 	var buf [16]byte
 	cl.Peek(workloads.DefaultResultAddr, buf[:])
+	applyResultMem(&rec, rs, buf[:])
+	if spec.TileStats {
+		rec.Tiles = rs.Tiles
+	}
+	rec.WallSec = rs.Wall.Seconds()
+	return rec, rs
+}
+
+// applyResultMem folds the workload result-readback window (checksum at
+// byte 0, region-of-interest end time at byte 8) and the run stats into
+// the record.
+func applyResultMem(rec *Record, rs *core.RunStats, buf []byte) {
 	rec.Checksum = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8]))
 	if roi := arch.Cycles(binary.LittleEndian.Uint64(buf[8:16])); roi > 0 {
 		rs.SimulatedCycles = roi
@@ -224,10 +252,42 @@ func ExecuteStats(spec *RunSpec) (Record, *core.RunStats) {
 	rec.SimCycles = uint64(rs.SimulatedCycles)
 	rec.Stats = rs.Totals
 	rec.MissByName = rs.Totals.MissByName()
+}
+
+// executeMultiProcess runs one spec as a single simulation distributed
+// across spec.Processes OS processes (launch.Run forks and supervises the
+// workers; this process coordinates). The record's config digest is
+// computed from the unmodified spec config — the process count and
+// transport are host-execution details the digest deliberately excludes —
+// so the record matches the in-process run of the same spec.
+func executeMultiProcess(spec *RunSpec, rec Record) (Record, *core.RunStats) {
+	rec.Processes = spec.Processes
+	cfg := spec.Config
+	cfg.Processes = spec.Processes
+	cfg.Transport = config.TransportTCP
+	res, err := launch.Run(&launch.Spec{
+		Workload: spec.Workload,
+		Threads:  spec.Threads,
+		Scale:    spec.Scale,
+		Config:   cfg,
+		Hosts:    spec.Hosts,
+		PeekAddr: workloads.DefaultResultAddr,
+		PeekLen:  16,
+	})
+	if err != nil {
+		rec.Error = err.Error()
+		return rec, nil
+	}
+	rs := res.Stats
+	applyResultMem(&rec, rs, res.Peeked)
 	if spec.TileStats {
 		rec.Tiles = rs.Tiles
 	}
 	rec.WallSec = rs.Wall.Seconds()
+	rec.ProcWallSec = make([]float64, len(res.Procs))
+	for i, ps := range res.Procs {
+		rec.ProcWallSec[i] = ps.Wall.Seconds()
+	}
 	return rec, rs
 }
 

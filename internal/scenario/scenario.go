@@ -30,7 +30,8 @@ import (
 )
 
 // Axis is one swept dimension of a grid. Field is either a run-level
-// parameter ("workload", "threads", "scale"), the virtual "line_size"
+// parameter ("workload", "threads", "scale", "processes" — the last being
+// the OS process count of a distributed run), the virtual "line_size"
 // (which sets the line size of every cache level together, as
 // config.Validate requires), or a dotted path into config.Config
 // ("Tiles", "L2.LineSize", "Sync.Model", ...). Enum-typed config fields
@@ -44,11 +45,12 @@ type Axis struct {
 // whose cross product the grid expands to. A grid with no axes is a
 // single run.
 type Grid struct {
-	// Workload, Threads, Scale override the scenario-level defaults for
-	// this grid (zero values inherit).
-	Workload string `json:"workload,omitempty"`
-	Threads  int    `json:"threads,omitempty"`
-	Scale    int    `json:"scale,omitempty"`
+	// Workload, Threads, Scale, Processes override the scenario-level
+	// defaults for this grid (zero values inherit).
+	Workload  string `json:"workload,omitempty"`
+	Threads   int    `json:"threads,omitempty"`
+	Scale     int    `json:"scale,omitempty"`
+	Processes int    `json:"processes,omitempty"`
 	// Base is applied to the configuration after the scenario-level Base.
 	Base map[string]any `json:"base,omitempty"`
 	// Axes are expanded right-to-left: the last axis varies fastest.
@@ -70,6 +72,18 @@ type Scenario struct {
 	Workload string `json:"workload,omitempty"`
 	Threads  int    `json:"threads,omitempty"`
 	Scale    int    `json:"scale,omitempty"`
+	// Processes > 1 executes each run as one simulation distributed
+	// across that many OS processes (tiles striped, TCP fabric), instead
+	// of in-process. Like threads/scale it is a run-level field: grids
+	// may override it and axes may sweep it ("processes"). Results are
+	// identical to the in-process run of the same spec — the config
+	// digest deliberately excludes host-execution fields.
+	Processes int `json:"processes,omitempty"`
+	// Hosts pins every process's fabric listen address (host:port, one
+	// per process) when Processes > 1. Empty: free localhost ports per
+	// run. Scenarios with pinned hosts run serially (concurrent runs
+	// would collide on the ports).
+	Hosts []string `json:"hosts,omitempty"`
 	// Seed is the reproducibility base; run i executes with RandSeed
 	// Seed+i. Default 1.
 	Seed int64 `json:"seed,omitempty"`
@@ -106,6 +120,11 @@ type RunSpec struct {
 	Threads  int    `json:"threads"`
 	Scale    int    `json:"scale"`
 	Seed     int64  `json:"seed"` // Config.RandSeed of this run
+	// Processes > 1 distributes this run across that many OS processes;
+	// Hosts optionally pins the per-process fabric addresses (see
+	// Scenario.Hosts).
+	Processes int      `json:"processes,omitempty"`
+	Hosts     []string `json:"hosts,omitempty"`
 	// Axes records the axis values of this point (for the JSONL record).
 	Axes map[string]any `json:"axes,omitempty"`
 	// TileStats embeds per-tile records in the run's Record.
@@ -272,6 +291,7 @@ func (s *Scenario) resolvePoint(gi, pt int, size string) (*RunSpec, error) {
 		Workload:  s.Workload,
 		Threads:   s.Threads,
 		Scale:     s.Scale,
+		Processes: s.Processes,
 		Axes:      map[string]any{},
 		TileStats: s.TileStats,
 	}
@@ -283,6 +303,9 @@ func (s *Scenario) resolvePoint(gi, pt int, size string) (*RunSpec, error) {
 	}
 	if g.Scale != 0 {
 		spec.Scale = g.Scale
+	}
+	if g.Processes != 0 {
+		spec.Processes = g.Processes
 	}
 	for _, over := range []map[string]any{s.Base, g.Base} {
 		for _, field := range sortedKeys(over) {
@@ -325,6 +348,15 @@ func (s *Scenario) resolvePoint(gi, pt int, size string) (*RunSpec, error) {
 	if spec.Threads < 1 || spec.Threads > cfg.Tiles {
 		return fail(fmt.Errorf("threads %d out of range [1, %d tiles]", spec.Threads, cfg.Tiles))
 	}
+	if spec.Processes < 0 || spec.Processes > cfg.Tiles {
+		return fail(fmt.Errorf("processes %d out of range [0, %d tiles]", spec.Processes, cfg.Tiles))
+	}
+	if spec.Processes > 1 {
+		if len(s.Hosts) > 0 && len(s.Hosts) != spec.Processes {
+			return fail(fmt.Errorf("%d hosts for %d processes", len(s.Hosts), spec.Processes))
+		}
+		spec.Hosts = s.Hosts
+	}
 	if err := cfg.Validate(); err != nil {
 		return fail(err)
 	}
@@ -333,8 +365,8 @@ func (s *Scenario) resolvePoint(gi, pt int, size string) (*RunSpec, error) {
 }
 
 // applyField applies one override. Run-level fields are the lowercase
-// names "workload", "threads", "scale"; everything else is a dotted Go
-// field path into config.Config.
+// names "workload", "threads", "scale", "processes"; everything else is a
+// dotted Go field path into config.Config.
 func applyField(cfg *config.Config, spec *RunSpec, field string, v any) error {
 	switch field {
 	case "workload":
@@ -357,6 +389,16 @@ func applyField(cfg *config.Config, spec *RunSpec, field string, v any) error {
 			return fmt.Errorf("scale: %w", err)
 		}
 		spec.Scale = int(n)
+		return nil
+	case "processes":
+		// OS process count of the run — a sweepable host-execution
+		// parameter (distinct from the config path "Processes", which
+		// stripes tiles across simulated processes in-process).
+		n, err := toInt(v)
+		if err != nil {
+			return fmt.Errorf("processes: %w", err)
+		}
+		spec.Processes = int(n)
 		return nil
 	case "line_size":
 		// Virtual field: the line size must be identical across enabled
@@ -521,10 +563,14 @@ func fieldNames(t reflect.Type) string {
 }
 
 // Digest returns the canonical configuration digest recorded with every
-// run: a SHA-256 over the config's JSON form. Two runs with equal digests
-// simulated the identical target.
+// run: a SHA-256 over the JSON form of the config's canonical target
+// (config.Canonical — host-execution fields like the OS process count,
+// transport, and GOMAXPROCS bound are excluded, because they must not
+// change results). Two runs with equal digests simulated the identical
+// target.
 func Digest(cfg *config.Config) string {
-	buf, err := json.Marshal(cfg)
+	canon := cfg.Canonical()
+	buf, err := json.Marshal(&canon)
 	if err != nil {
 		// Config is plain data; marshalling cannot fail.
 		panic("scenario: config digest: " + err.Error())

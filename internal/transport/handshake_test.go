@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+)
+
+// freeAddrs reserves n distinct localhost addresses by binding ephemeral
+// ports and releasing them immediately.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestHandshakeRejectsProtoSkew: a peer answering the hello with a welcome
+// pinning a different wire-format version must fail the dial loudly.
+func TestHandshakeRejectsProtoSkew(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	ln, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var hello [24]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return
+		}
+		var welcome [16]byte
+		binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
+		binary.LittleEndian.PutUint32(welcome[4:8], tcpProto+999)
+		conn.Write(welcome[:])
+	}()
+
+	_, err = DialTCP(TCPConfig{
+		Proc: 1, Procs: 2, Addrs: addrs,
+		DialTimeout: 2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("dial against a proto-skewed peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "proto") {
+		t.Fatalf("error does not name the proto skew: %v", err)
+	}
+}
+
+// TestHandshakeRejectsClusterSizeMismatch: a hello claiming a different
+// total process count is a misconfigured launch (two simulations pointed
+// at each other) and must be rejected by the accepting side.
+func TestHandshakeRejectsClusterSizeMismatch(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+
+	// A fake proc 1 that lets proc 0's outbound dial complete normally.
+	ln, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var hello [24]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return
+		}
+		var welcome [16]byte
+		binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
+		binary.LittleEndian.PutUint32(welcome[4:8], tcpProto)
+		conn.Write(welcome[:])
+	}()
+
+	result := make(chan error, 1)
+	go func() {
+		tr, err := DialTCP(TCPConfig{
+			Proc: 0, Procs: 2, Addrs: addrs,
+			DialTimeout: 5 * time.Second,
+		})
+		if tr != nil {
+			tr.Close()
+		}
+		result <- err
+	}()
+
+	// Dial proc 0's listener claiming to be proc 1 of a THREE-process run.
+	conn, err := dialRetry(addrs[0], 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(encodeHello(3, arch.ProcID(1), 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-result:
+		if err == nil {
+			t.Fatal("accepting a peer from a different-size fabric succeeded")
+		}
+		if !strings.Contains(err.Error(), "3-process") {
+			t.Fatalf("error does not name the size mismatch: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DialTCP did not return")
+	}
+}
+
+// TestHandshakeRejectsGarbage: random bytes on the listen port (a port
+// scanner, a stray client) must not be interpreted as fabric frames.
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+
+	ln, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var hello [24]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return
+		}
+		var welcome [16]byte
+		binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
+		binary.LittleEndian.PutUint32(welcome[4:8], tcpProto)
+		conn.Write(welcome[:])
+	}()
+
+	result := make(chan error, 1)
+	go func() {
+		tr, err := DialTCP(TCPConfig{
+			Proc: 0, Procs: 2, Addrs: addrs,
+			DialTimeout: 5 * time.Second,
+		})
+		if tr != nil {
+			tr.Close()
+		}
+		result <- err
+	}()
+
+	conn, err := dialRetry(addrs[0], 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-result:
+		if err == nil {
+			t.Fatal("accepting a non-graphite peer succeeded")
+		}
+		if !strings.Contains(err.Error(), "not a graphite transport peer") {
+			t.Fatalf("error does not identify the stranger: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DialTCP did not return")
+	}
+}

@@ -25,6 +25,39 @@ const maxFrame = 16 << 20
 // order. maxFrame leaves the top bits of the length word free.
 const batchFlag = 1 << 31
 
+// helloMagic opens every fabric connection ("GMP\x01" little-endian). A
+// peer that does not present it is not a Graphite transport at all —
+// someone dialed the wrong port — and is rejected before any frame is
+// interpreted.
+const helloMagic = 0x01504D47
+
+// tcpProto is the fabric wire-format version. It is pinned in the
+// connection handshake: processes of one simulation may run on different
+// machines from different builds, and a version skew must fail the dial
+// loudly instead of mis-framing traffic. Bump on any change to the frame
+// or handshake layout.
+const tcpProto = 2
+
+// hello is the 24-byte header the dialing process sends on a fresh
+// connection: magic, proto, total process count, the dialer's ProcID,
+// and the fabric ID of the run. The acceptor validates all of them (the
+// process count and fabric ID catch two simulations misconfigured onto
+// each other — auto-allocated localhost ports can be recycled between
+// concurrent runs) and answers with a 16-byte welcome (magic, proto,
+// fabric ID) so the dialer can diagnose a skewed or foreign peer too.
+// A zero fabric ID means "unchecked" (manually launched multi-host runs
+// share no generated ID); the ID is enforced only when both sides have
+// one.
+func encodeHello(procs int, proc arch.ProcID, fabric uint64) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint32(b[0:4], helloMagic)
+	binary.LittleEndian.PutUint32(b[4:8], tcpProto)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(procs))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(proc))
+	binary.LittleEndian.PutUint64(b[16:24], fabric)
+	return b
+}
+
 // TCPConfig configures one process's attachment to a TCP fabric.
 type TCPConfig struct {
 	// Proc is this process's ID.
@@ -37,6 +70,10 @@ type TCPConfig struct {
 	Route RouteFunc
 	// DialTimeout bounds how long to wait for peers to come up.
 	DialTimeout time.Duration
+	// FabricID identifies this run; the handshake rejects peers carrying
+	// a different non-zero ID, so two simulations racing over recycled
+	// localhost ports cannot cross-connect. Zero disables the check.
+	FabricID uint64
 }
 
 // tcpTransport implements Transport over a full mesh of TCP connections.
@@ -47,10 +84,17 @@ type tcpTransport struct {
 	cfg      TCPConfig
 	listener net.Listener
 
-	mu     sync.RWMutex
-	boxes  map[EndpointID]*mailbox
-	peers  []*tcpPeer // indexed by ProcID; nil for self
-	closed bool
+	mu    sync.RWMutex
+	boxes map[EndpointID]*mailbox
+	// pending holds inbound frames for endpoints this process has not
+	// registered yet, in arrival order. Processes finish DialTCP together
+	// but register endpoints at their own pace, so a fast peer's first
+	// frames can beat the local Register; dropping them would lose
+	// protocol messages and hang the simulation (a blocked core waits
+	// forever for its reply). Register drains them into the new mailbox.
+	pending map[EndpointID][][]byte
+	peers   []*tcpPeer // indexed by ProcID; nil for self
+	closed  bool
 
 	wg sync.WaitGroup
 }
@@ -86,29 +130,36 @@ func DialTCP(cfg TCPConfig) (Transport, error) {
 		cfg:      cfg,
 		listener: ln,
 		boxes:    make(map[EndpointID]*mailbox),
+		pending:  make(map[EndpointID][][]byte),
 		peers:    make([]*tcpPeer, cfg.Procs),
 	}
 
-	// Accept inbound connections from the other Procs-1 processes.
+	// Accept inbound connections from the other Procs-1 processes. Each
+	// must present a valid hello before its frames are trusted.
 	accepted := make(chan error, 1)
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
 		var err error
+		seen := make(map[arch.ProcID]bool)
 		for i := 0; i < cfg.Procs-1; i++ {
 			conn, aerr := ln.Accept()
 			if aerr != nil {
 				err = aerr
 				break
 			}
-			var hdr [4]byte
-			if _, herr := io.ReadFull(conn, hdr[:]); herr != nil {
+			from, herr := t.acceptHandshake(conn)
+			if herr != nil {
 				err = herr
 				conn.Close()
 				break
 			}
-			from := arch.ProcID(binary.LittleEndian.Uint32(hdr[:]))
-			_ = from // connections are unidirectional; sender identity is informational
+			if seen[from] {
+				err = fmt.Errorf("process %d connected twice", from)
+				conn.Close()
+				break
+			}
+			seen[from] = true
 			t.wg.Add(1)
 			go t.readLoop(conn)
 		}
@@ -121,16 +172,9 @@ func DialTCP(cfg TCPConfig) (Transport, error) {
 		if arch.ProcID(p) == cfg.Proc {
 			continue
 		}
-		conn, err := dialRetry(cfg.Addrs[p], cfg.DialTimeout)
+		conn, err := dialHandshake(cfg, p)
 		if err != nil {
-			dialErr = fmt.Errorf("transport: dial proc %d (%s): %w", p, cfg.Addrs[p], err)
-			break
-		}
-		var hdr [4]byte
-		binary.LittleEndian.PutUint32(hdr[:], uint32(cfg.Proc))
-		if _, err := conn.Write(hdr[:]); err != nil {
-			dialErr = fmt.Errorf("transport: handshake to proc %d: %w", p, err)
-			conn.Close()
+			dialErr = err
 			break
 		}
 		if tc, ok := conn.(*net.TCPConn); ok {
@@ -149,17 +193,89 @@ func DialTCP(cfg TCPConfig) (Transport, error) {
 	return t, nil
 }
 
+// acceptHandshake validates a fresh inbound connection's hello and answers
+// with a welcome. It returns the dialing process's ID.
+func (t *tcpTransport) acceptHandshake(conn net.Conn) (arch.ProcID, error) {
+	conn.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
+	defer conn.SetReadDeadline(time.Time{})
+	var hello [24]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return 0, fmt.Errorf("reading hello from %s: %w", conn.RemoteAddr(), err)
+	}
+	if m := binary.LittleEndian.Uint32(hello[0:4]); m != helloMagic {
+		// Not a Graphite peer at all: do not answer, just reject.
+		return 0, fmt.Errorf("%s is not a graphite transport peer (magic %#x)", conn.RemoteAddr(), m)
+	}
+	// Always answer a well-formed hello, even one we reject: the dialer is
+	// a Graphite peer blocked on the welcome, and the reply lets it report
+	// the version skew on its own side too.
+	var welcome [16]byte
+	binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
+	binary.LittleEndian.PutUint32(welcome[4:8], tcpProto)
+	binary.LittleEndian.PutUint64(welcome[8:16], t.cfg.FabricID)
+	if _, err := conn.Write(welcome[:]); err != nil {
+		return 0, fmt.Errorf("writing welcome to %s: %w", conn.RemoteAddr(), err)
+	}
+	if v := binary.LittleEndian.Uint32(hello[4:8]); v != tcpProto {
+		return 0, fmt.Errorf("peer %s speaks transport proto %d, this build speaks %d", conn.RemoteAddr(), v, tcpProto)
+	}
+	if n := int(binary.LittleEndian.Uint32(hello[8:12])); n != t.cfg.Procs {
+		return 0, fmt.Errorf("peer %s belongs to a %d-process fabric, this one has %d", conn.RemoteAddr(), n, t.cfg.Procs)
+	}
+	if f := binary.LittleEndian.Uint64(hello[16:24]); f != 0 && t.cfg.FabricID != 0 && f != t.cfg.FabricID {
+		return 0, fmt.Errorf("peer %s belongs to a different run (fabric %#x, this one is %#x)", conn.RemoteAddr(), f, t.cfg.FabricID)
+	}
+	from := arch.ProcID(binary.LittleEndian.Uint32(hello[12:16]))
+	if int(from) >= t.cfg.Procs || from == t.cfg.Proc {
+		return 0, fmt.Errorf("peer %s claims invalid process ID %d", conn.RemoteAddr(), from)
+	}
+	return from, nil
+}
+
+// dialHandshake connects to process p (retrying until the config deadline
+// — peers of a multi-host launch come up in any order) and completes the
+// hello/welcome exchange.
+func dialHandshake(cfg TCPConfig, p int) (net.Conn, error) {
+	conn, err := dialRetry(cfg.Addrs[p], cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial proc %d (%s): %w", p, cfg.Addrs[p], err)
+	}
+	fail := func(err error) (net.Conn, error) {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake with proc %d (%s): %w", p, cfg.Addrs[p], err)
+	}
+	if _, err := conn.Write(encodeHello(cfg.Procs, cfg.Proc, cfg.FabricID)); err != nil {
+		return fail(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(cfg.DialTimeout))
+	var welcome [16]byte
+	if _, err := io.ReadFull(conn, welcome[:]); err != nil {
+		return fail(fmt.Errorf("reading welcome: %w", err))
+	}
+	conn.SetReadDeadline(time.Time{})
+	if m := binary.LittleEndian.Uint32(welcome[0:4]); m != helloMagic {
+		return fail(fmt.Errorf("not a graphite transport peer (magic %#x)", m))
+	}
+	if v := binary.LittleEndian.Uint32(welcome[4:8]); v != tcpProto {
+		return fail(fmt.Errorf("peer speaks transport proto %d, this build speaks %d", v, tcpProto))
+	}
+	if f := binary.LittleEndian.Uint64(welcome[8:16]); f != 0 && cfg.FabricID != 0 && f != cfg.FabricID {
+		return fail(fmt.Errorf("peer belongs to a different run (fabric %#x, this one is %#x)", f, cfg.FabricID))
+	}
+	return conn, nil
+}
+
 func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
 	var lastErr error
-	for {
+	for attempt := 0; ; attempt++ {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
 		if time.Now().After(deadline) {
-			return nil, lastErr
+			return nil, fmt.Errorf("%w (gave up after %d attempts over %v)", lastErr, attempt+1, timeout)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -236,10 +352,9 @@ func (t *tcpTransport) deliverLocal(dst EndpointID, data []byte) {
 	t.mu.RUnlock()
 	if b != nil {
 		b.put(data)
+		return
 	}
-	// Frames for unregistered endpoints are dropped; this happens only
-	// during shutdown races and is harmless because simulations quiesce
-	// before teardown.
+	t.stashPending(dst, data)
 }
 
 func (t *tcpTransport) deliverLocalBatch(dst EndpointID, frames [][]byte) {
@@ -248,6 +363,26 @@ func (t *tcpTransport) deliverLocalBatch(dst EndpointID, frames [][]byte) {
 	t.mu.RUnlock()
 	if b != nil {
 		b.putBatch(frames)
+		return
+	}
+	t.stashPending(dst, frames...)
+}
+
+// stashPending queues frames for a not-yet-registered endpoint (the
+// startup race described on the pending field). Frames arriving after
+// Close are dropped — that is the shutdown race, and it is harmless
+// because simulations quiesce before teardown.
+func (t *tcpTransport) stashPending(dst EndpointID, frames ...[]byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b := t.boxes[dst]; b != nil {
+		// Register won the race; deliver normally (still in arrival
+		// order: this readLoop is the only writer for its sender).
+		b.putBatch(frames)
+		return
+	}
+	if !t.closed {
+		t.pending[dst] = append(t.pending[dst], frames...)
 	}
 }
 
@@ -266,6 +401,12 @@ func (t *tcpTransport) Register(id EndpointID) (Endpoint, error) {
 	}
 	b := newMailbox(id)
 	t.boxes[id] = b
+	// Drain frames that arrived before registration, preserving their
+	// arrival order ahead of anything delivered from now on.
+	if early := t.pending[id]; len(early) > 0 {
+		delete(t.pending, id)
+		b.putBatch(early)
+	}
 	return b, nil
 }
 

@@ -41,6 +41,16 @@ const MCP EndpointID = -1
 // LCP returns the endpoint of the Local Control Program of process p.
 func LCP(p arch.ProcID) EndpointID { return EndpointID(-2 - int32(p)) }
 
+// LCPProc inverts LCP: it returns the process whose Local Control
+// Program owns endpoint id, and whether id is an LCP endpoint at all.
+// It is the single other site that knows the LCP encoding.
+func LCPProc(id EndpointID) (arch.ProcID, bool) {
+	if id >= -1 { // tiles and the MCP
+		return 0, false
+	}
+	return arch.ProcID(-2 - int32(id)), true
+}
+
 // TileEndpoint returns the endpoint of a target tile.
 func TileEndpoint(t arch.TileID) EndpointID { return EndpointID(t) }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	graphite "repro"
@@ -57,6 +58,9 @@ type Delta struct {
 	Name      string  `json:"name"`
 	WallPct   float64 `json:"wall_pct"`   // negative = faster than baseline
 	AllocsPct float64 `json:"allocs_pct"` // negative = fewer allocations
+	// InstrPct is the simulated-throughput delta (positive = faster),
+	// present only for benches reporting sim_instr_per_sec.
+	InstrPct float64 `json:"instr_pct,omitempty"`
 }
 
 // Report is the file format (schema graphite-bench/v1).
@@ -80,7 +84,9 @@ func main() {
 		baseline = flag.String("baseline", "", "prior report to embed and diff against")
 		reps     = flag.Int("reps", 3, "repetitions per bench (means are reported)")
 		label    = flag.String("label", "", "free-form label recorded in the report")
-		check    = flag.Float64("check", 0, "with -baseline: exit nonzero if wall time or allocs/op regress beyond this percentage (the CI bench-regression gate)")
+		check    = flag.Float64("check", 0, "with -baseline: exit nonzero if wall time, allocs/op, or sim instr/sec regress beyond this percentage (the CI bench-regression gate)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the whole bench run to this file (go tool pprof)")
+		memprof  = flag.String("memprofile", "", "write an allocation profile taken after the benches to this file (go tool pprof -sample_index=alloc_objects)")
 	)
 	flag.Parse()
 	if *check < 0 || (*check > 0 && *baseline == "") {
@@ -110,6 +116,19 @@ func main() {
 		Preset:    "quick",
 	}
 
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	benches := []struct {
 		name string
 		run  func() (Result, error)
@@ -130,6 +149,25 @@ func main() {
 		r.Name = b.name
 		r.Reps = *reps
 		rep.Benches = append(rep.Benches, r)
+	}
+
+	// Profiles are finalized before the report/gate logic so that a
+	// failing regression gate (os.Exit) cannot truncate them.
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush outstanding allocations into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	if base != nil {
@@ -175,10 +213,12 @@ func main() {
 	}
 }
 
-// regressions lists benches whose wall time or allocations grew beyond
-// the tolerance. Improvements (negative deltas) never fail the gate;
-// wall time is only judged when the baseline came from a comparable
-// host (wall-clock numbers do not transfer across machines).
+// regressions lists benches whose wall time, allocations, or simulated
+// throughput regressed beyond the tolerance. Improvements never fail the
+// gate; wall time and instr/sec (which is wall-derived) are only judged
+// when the baseline came from a comparable host (wall-clock numbers do
+// not transfer across machines), while allocs/op is deterministic and
+// always gated.
 func regressions(deltas []Delta, tolerancePct float64, wallComparable bool) []string {
 	var bad []string
 	for _, d := range deltas {
@@ -187,6 +227,9 @@ func regressions(deltas []Delta, tolerancePct float64, wallComparable bool) []st
 		}
 		if d.AllocsPct > tolerancePct {
 			bad = append(bad, fmt.Sprintf("%s: allocs/op %+.1f%% (tolerance %.0f%%)", d.Name, d.AllocsPct, tolerancePct))
+		}
+		if wallComparable && d.InstrPct < -tolerancePct {
+			bad = append(bad, fmt.Sprintf("%s: sim instr/sec %+.1f%% (tolerance %.0f%%)", d.Name, d.InstrPct, tolerancePct))
 		}
 	}
 	return bad
@@ -255,16 +298,26 @@ func benchThroughput(name string, tiles, scale, reps int) (Result, error) {
 	cfg.L1I = graphite.CacheConfig{Enabled: false}
 	cfg.L1D = graphite.CacheConfig{Enabled: true, Size: 16 << 10, Assoc: 8, LineSize: 64, HitLatency: 1}
 	cfg.L2 = graphite.CacheConfig{Enabled: true, Size: 256 << 10, Assoc: 8, LineSize: 64, HitLatency: 8}
-	return measure(reps, func() (Result, error) {
+	// Throughput is aggregated over every repetition (instructions are
+	// deterministic, wall time is not): a last-rep-only sample is far too
+	// noisy on a shared host for the -check regression gate to act on it.
+	var sumInstr, sumWall float64
+	res, err := measure(reps, func() (Result, error) {
 		rs, err := graphite.Run(cfg, w.Build(workloads.Params{Threads: tiles, Scale: scale}), 0)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{
-			SimCycles:   int64(rs.SimulatedCycles),
-			InstrPerSec: float64(rs.Totals.Instructions) / rs.Wall.Seconds(),
-		}, nil
+		sumInstr += float64(rs.Totals.Instructions)
+		sumWall += rs.Wall.Seconds()
+		return Result{SimCycles: int64(rs.SimulatedCycles)}, nil
 	})
+	if err != nil {
+		return Result{}, err
+	}
+	if sumWall > 0 {
+		res.InstrPerSec = sumInstr / sumWall
+	}
+	return res, nil
 }
 
 func readReport(path string) (*Report, error) {
@@ -290,11 +343,15 @@ func diff(base, cur []Result) []Delta {
 		if !ok || b.WallSec == 0 || b.AllocsPerOp == 0 {
 			continue
 		}
-		ds = append(ds, Delta{
+		d := Delta{
 			Name:      r.Name,
 			WallPct:   100 * (r.WallSec - b.WallSec) / b.WallSec,
 			AllocsPct: 100 * (float64(r.AllocsPerOp) - float64(b.AllocsPerOp)) / float64(b.AllocsPerOp),
-		})
+		}
+		if r.InstrPerSec > 0 && b.InstrPerSec > 0 {
+			d.InstrPct = 100 * (r.InstrPerSec - b.InstrPerSec) / b.InstrPerSec
+		}
+		ds = append(ds, d)
 	}
 	return ds
 }
@@ -305,6 +362,10 @@ func printSummary(rep *Report) {
 		fmt.Printf("%-20s %12.4f %14d %14d\n", r.Name, r.WallSec, r.AllocsPerOp, r.BytesPerOp)
 	}
 	for _, d := range rep.Deltas {
-		fmt.Printf("delta %-14s wall %+6.1f%%  allocs %+6.1f%%\n", d.Name, d.WallPct, d.AllocsPct)
+		line := fmt.Sprintf("delta %-14s wall %+6.1f%%  allocs %+6.1f%%", d.Name, d.WallPct, d.AllocsPct)
+		if d.InstrPct != 0 {
+			line += fmt.Sprintf("  instr/s %+6.1f%%", d.InstrPct)
+		}
+		fmt.Println(line)
 	}
 }

@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -60,17 +61,40 @@ type Line struct {
 }
 
 // Cache is one set-associative cache array with LRU replacement. It is not
-// internally synchronized: the owning tile serializes access with its
-// hierarchy mutex.
+// internally synchronized: the owning core context serializes access (see
+// the single-writer ownership rules in internal/memsys and DESIGN.md §13).
 type Cache struct {
 	cfg      config.CacheConfig
 	sets     []Line // sets*assoc lines, set-major
 	setMask  uint64
 	lineBits uint
 	tick     uint64
+	// victimBuf backs the Data slice of lines returned by Insert on
+	// eviction, so the steady state allocates nothing: the evicted slot
+	// keeps its storage for the incoming line and the victim's bytes are
+	// copied here. One buffer suffices because victims are consumed
+	// (encoded into a writeback message) before the next Insert.
+	victimBuf []byte
 
 	// Statistics.
 	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// linePools recycles line arrays — including their lazily allocated data
+// buffers — across cache instances of the same geometry. Sweep-style
+// workloads construct thousands of short-lived simulator instances; the
+// line metadata array is the single largest construction allocation, and
+// recycling it turns that recurring garbage (and the GC churn it causes
+// between runs) into a handful of long-lived arrays.
+var linePools sync.Map // packed geometry key -> *sync.Pool
+
+func linePool(lines, lineSize int) *sync.Pool {
+	key := uint64(lines)<<16 | uint64(lineSize)
+	if p, ok := linePools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := linePools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
 }
 
 // New builds a cache from a validated configuration. It panics on invalid
@@ -83,15 +107,37 @@ func New(cfg config.CacheConfig) *Cache {
 		panic("cache: New called for disabled cache")
 	}
 	sets := cfg.Sets()
+	lines := sets * cfg.Assoc
 	c := &Cache{
-		cfg:     cfg,
-		sets:    make([]Line, sets*cfg.Assoc),
-		setMask: uint64(sets - 1),
+		cfg:       cfg,
+		setMask:   uint64(sets - 1),
+		victimBuf: make([]byte, cfg.LineSize),
+	}
+	if v := linePool(lines, cfg.LineSize).Get(); v != nil {
+		c.sets = v.([]Line)
+		for i := range c.sets {
+			// Reset metadata but keep each slot's data buffer.
+			c.sets[i] = Line{Data: c.sets[i].Data}
+		}
+	} else {
+		c.sets = make([]Line, lines)
 	}
 	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
 		c.lineBits++
 	}
 	return c
+}
+
+// Release returns the cache's line array (with its data buffers) to the
+// geometry pool for reuse by a future instance. The cache must not be
+// used afterwards; callers must guarantee no other goroutine can still
+// touch it (simulation torn down, server stopped).
+func (c *Cache) Release() {
+	if c.sets == nil {
+		return
+	}
+	linePool(len(c.sets), c.cfg.LineSize).Put(c.sets)
+	c.sets = nil
 }
 
 // LineSize returns the line size in bytes.
@@ -142,8 +188,12 @@ func (c *Cache) Peek(l LineAddr) *Line {
 
 // Insert places a line with the given state and data, evicting the LRU
 // victim of the set if needed. The returned victim (valid when evicted is
-// true) is a copy owned by the caller; its Data buffer is detached from
-// the cache. data is copied into the cache's own storage.
+// true) carries its bytes in a cache-owned scratch buffer that the next
+// Insert overwrites: callers must consume the victim (typically by
+// encoding its writeback) before inserting again. data is copied into the
+// cache's own storage. Slot storage is allocated on a slot's first use
+// and retained across invalidations and evictions, so the steady state
+// allocates nothing.
 func (c *Cache) Insert(l LineAddr, st State, data []byte) (victim Line, evicted bool) {
 	if st == Invalid {
 		panic("cache: inserting Invalid line")
@@ -167,7 +217,8 @@ func (c *Cache) Insert(l LineAddr, st State, data []byte) (victim Line, evicted 
 		}
 	}
 	if slot < 0 {
-		// Evict the least recently used line.
+		// Evict the least recently used line. The victim's bytes move to
+		// the scratch buffer; the slot keeps its storage for the new line.
 		slot = 0
 		for i := 1; i < len(set); i++ {
 			if set[i].lru < set[slot].lru {
@@ -175,8 +226,8 @@ func (c *Cache) Insert(l LineAddr, st State, data []byte) (victim Line, evicted 
 			}
 		}
 		victim = set[slot]
-		victim.Data = set[slot].Data // hand the buffer to the caller
-		set[slot].Data = nil
+		copy(c.victimBuf, set[slot].Data)
+		victim.Data = c.victimBuf
 		evicted = true
 		c.Evictions++
 		if victim.Dirty {
@@ -203,15 +254,19 @@ func (c *Cache) Insert(l LineAddr, st State, data []byte) (victim Line, evicted 
 	return victim, evicted
 }
 
-// Invalidate removes a line, returning a copy of it (with its Data buffer)
-// and whether it was present.
+// Invalidate removes a line, returning a copy of it and whether it was
+// present. The copy's Data aliases the slot's storage, which stays in
+// place for the slot's next occupant: it is valid only until the next
+// Insert that lands in this line's set.
 func (c *Cache) Invalidate(l LineAddr) (Line, bool) {
 	set := c.set(l)
 	for i := range set {
 		if set[i].State != Invalid && set[i].Addr == l {
 			out := set[i]
-			out.Data = set[i].Data
-			set[i] = Line{}
+			set[i].State = Invalid
+			set[i].Dirty = false
+			set[i].WriteMask = 0
+			set[i].lru = 0
 			return out, true
 		}
 	}

@@ -234,7 +234,9 @@ func (c *Cluster) Tiles() []*Tile {
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() *config.Config { return &c.cfg }
 
-// Close tears the simulation down. Safe to call more than once.
+// Close tears the simulation down. Safe to call more than once. Cluster
+// state (tiles, stats) must not be touched after Close: cache storage is
+// recycled into pools for future simulator instances.
 func (c *Cluster) Close() {
 	if c.closed {
 		return
@@ -250,5 +252,14 @@ func (c *Cluster) Close() {
 	}
 	if c.fabric != nil {
 		c.fabric.Close()
+	}
+	// With every transport closed the memory servers exit; once a tile's
+	// server has stopped its caches can safely return to the pools.
+	for _, p := range c.procs {
+		p.Wait()
+		for _, t := range p.Tiles() {
+			<-t.Mem.Stopped()
+			t.Mem.ReleaseCaches()
+		}
 	}
 }

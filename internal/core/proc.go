@@ -64,6 +64,9 @@ func NewProc(id arch.ProcID, cfg *config.Config, prog Program, tr transport.Tran
 			return nil, err
 		}
 		net := network.New(tid, tr, ep, p.models, p.progress)
+		// The tile's memory server is the endpoint pump: memory traffic —
+		// the dominant class — skips the demux goroutine and queue hop.
+		net.SetPrimary(network.ClassMemory)
 		tile := NewTile(tid, cfg, net, p.progress)
 		p.tiles[tid] = tile
 		p.tileList = append(p.tileList, tile)
@@ -124,7 +127,10 @@ func (p *Proc) startThread(st mcp.StartThread, start arch.Cycles) {
 		defer p.threads.Done()
 		tile.Clock.Forward(start)
 		tile.active.Store(true)
-		th := &Thread{tile: tile, proc: p, sync: p.newSyncModel(tile)}
+		th := &Thread{tile: tile, proc: p}
+		if m := p.newSyncModel(tile); m != nil {
+			th.tickFn = m.Tick
+		}
 		p.prog.Funcs[st.Func](th, st.Arg)
 		tile.active.Store(false)
 		instr, br, miss, comp, mem := tile.Core.Stats()
@@ -134,7 +140,10 @@ func (p *Proc) startThread(st mcp.StartThread, start arch.Cycles) {
 }
 
 // newSyncModel instantiates the configured synchronization model for a
-// freshly started thread.
+// freshly started thread. Plain Lax returns nil: the thread runtime then
+// skips model ticks entirely. Threads blocked in any of these closures
+// leave their memory node's ownership word free, so its server answers
+// coherence interventions while they wait.
 func (p *Proc) newSyncModel(tile *Tile) synchro.Model {
 	switch p.cfg.Sync.Model {
 	case config.LaxBarrier:
@@ -164,7 +173,7 @@ func (p *Proc) newSyncModel(tile *Tile) synchro.Model {
 		}
 		return synchro.NewP2P(p.cfg.Sync, tile.ID, p.cfg.Tiles, p.cfg.RandSeed, probe, nap)
 	default:
-		return synchro.NewLax()
+		return nil
 	}
 }
 

@@ -11,7 +11,6 @@ import (
 	"repro/internal/coremodel"
 	"repro/internal/mcp"
 	"repro/internal/network"
-	"repro/internal/synchro"
 	"repro/internal/transport"
 )
 
@@ -41,7 +40,11 @@ type Program struct {
 type Thread struct {
 	tile *Tile
 	proc *Proc
-	sync synchro.Model
+	// tickFn drives the synchronization model after every application
+	// event. It is nil under plain Lax, which makes tick a single nil
+	// check: the common case pays neither an interface call nor an atomic
+	// clock load for a model that would ignore both.
+	tickFn func(arch.Cycles)
 	// scratch backs the fixed-width Load/Store helpers. A heap field
 	// rather than a stack array: the miss path retains the buffer until
 	// the reply applies it, so a local would escape and every Load64 /
@@ -79,8 +82,11 @@ func (t *Thread) Tiles() int { return t.tile.cfg.Tiles }
 func (t *Thread) Now() arch.Cycles { return t.tile.Clock.Now() }
 
 // tick drives the synchronization model after every application event.
+// Under plain Lax synchronization it is a nil check and nothing else.
 func (t *Thread) tick() {
-	t.sync.Tick(t.tile.Clock.Now())
+	if t.tickFn != nil {
+		t.tickFn(t.tile.Clock.Now())
+	}
 }
 
 // Compute models n instructions of kind k executing natively.
@@ -361,7 +367,10 @@ func (t *Thread) CloseFile(fd int32) error {
 }
 
 // call performs a blocking MCP RPC, marking the tile blocked so skew
-// sampling and LaxP2P probes ignore its frozen clock while it waits.
+// sampling and LaxP2P probes ignore its frozen clock while it waits. The
+// memory node needs no notice: a thread blocked here leaves the ownership
+// word free, so the node's server answers coherence interventions itself
+// (DESIGN.md §13).
 func (t *Thread) call(typ uint8, payload []byte) (network.Packet, bool) {
 	t.tile.rpcBlocked.Store(true)
 	pkt, ok := t.tile.sys.call(typ, mcpTile, payload, t.Now())

@@ -115,12 +115,16 @@ func (c *Core) cost(k InstrKind) arch.Cycles {
 }
 
 // advancePC models fetching n instructions, charging I-cache latencies
-// when the synthetic PC crosses a line boundary.
+// when the synthetic PC crosses a line boundary. It strides line by line
+// rather than instruction by instruction — the observable behaviour (one
+// fetch per line entered, wrap at the code-segment end) is identical, but
+// a large Compute batch costs O(lines crossed) instead of O(n).
 func (c *Core) advancePC(n int) {
 	if c.fetch == nil || c.codeSize <= 0 || c.lineSize <= 0 {
 		return
 	}
-	for i := 0; i < n; i++ {
+	end := c.codeBase + arch.Addr(c.codeSize)
+	for n > 0 {
 		line := c.pc &^ arch.Addr(c.lineSize-1)
 		if line != c.fetchedLn {
 			c.fetchedLn = line
@@ -131,10 +135,24 @@ func (c *Core) advancePC(n int) {
 				c.memStallCyc += lat - c.cfg.ArithCost
 			}
 		}
-		c.pc += instrBytes
-		if c.pc >= c.codeBase+arch.Addr(c.codeSize) {
+		limit := line + arch.Addr(c.lineSize)
+		if limit > end {
+			limit = end
+		}
+		// Instructions whose start lies before limit — the ceiling keeps a
+		// boundary-straddling instruction in this iteration (its fetch was
+		// charged to the line containing its start, as the per-instruction
+		// walk did), so misaligned code bases and footprints advance
+		// correctly. limit > pc always, so step >= 1 and the loop advances.
+		step := int((limit - c.pc + instrBytes - 1) / instrBytes)
+		if step > n {
+			step = n
+		}
+		c.pc += arch.Addr(step * instrBytes)
+		if c.pc >= end {
 			c.pc = c.codeBase
 		}
+		n -= step
 	}
 }
 

@@ -55,14 +55,31 @@ func New(kind config.CoherenceKind, pointers, tiles int) SharerSet {
 	}
 }
 
-// fullMap is a bit-vector sharer set.
+// fullMap is a bit-vector sharer set. Targets of at most 64 tiles (the
+// common case) fit in the inline word, so an in-place init allocates
+// nothing.
 type fullMap struct {
-	bits  []uint64
-	count int
+	bits   []uint64
+	inline [1]uint64
+	count  int
 }
 
 func newFullMap(tiles int) *fullMap {
-	return &fullMap{bits: make([]uint64, (tiles+63)/64)}
+	f := &fullMap{}
+	f.init(tiles)
+	return f
+}
+
+// init prepares the map for tiles sharers, reusing the inline word when it
+// suffices.
+func (f *fullMap) init(tiles int) {
+	if tiles <= 64 {
+		f.inline[0] = 0
+		f.bits = f.inline[:]
+	} else {
+		f.bits = make([]uint64, (tiles+63)/64)
+	}
+	f.count = 0
 }
 
 func (f *fullMap) Add(t arch.TileID) (arch.TileID, bool) {
@@ -207,15 +224,34 @@ type Entry struct {
 	// of later misses (paper §4.4, Figure 8).
 	LastWriter     arch.TileID
 	LastWriterMask uint64
+
+	// full backs Sharers for the full-map protocol so that an Entry
+	// embedded in a larger home-side record costs no extra allocations
+	// (directories hold one entry per line ever homed — the dominant
+	// steady-state allocation before entries were embedded).
+	full fullMap
+}
+
+// InitEntry initializes an idle entry in place for the configured
+// protocol. Full-map targets reuse the entry's inline sharer storage;
+// limited directories allocate their pointer state.
+func InitEntry(e *Entry, cfg config.CoherenceConfig, tiles int) {
+	e.Owner = arch.InvalidTile
+	e.LastWriter = arch.InvalidTile
+	e.LastWriterMask = 0
+	if cfg.Kind == config.FullMap {
+		e.full.init(tiles)
+		e.Sharers = &e.full
+	} else {
+		e.Sharers = New(cfg.Kind, cfg.DirPointers, tiles)
+	}
 }
 
 // NewEntry builds an idle entry for the configured protocol.
 func NewEntry(cfg config.CoherenceConfig, tiles int) *Entry {
-	return &Entry{
-		Sharers:    New(cfg.Kind, cfg.DirPointers, tiles),
-		Owner:      arch.InvalidTile,
-		LastWriter: arch.InvalidTile,
-	}
+	e := &Entry{}
+	InitEntry(e, cfg, tiles)
+	return e
 }
 
 // Idle reports whether no tile caches the line.

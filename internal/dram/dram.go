@@ -27,10 +27,26 @@ type Controller struct {
 	lineSize int
 
 	store map[uint64][]byte // line address -> line data
+	// slab carves line buffers in chunks: one allocation per
+	// dramSlabLines lines touched instead of one per line.
+	slab []byte
 
 	// Statistics.
 	Reads, Writes   uint64
 	TotalQueueDelay arch.Cycles
+}
+
+// dramSlabLines is the slab chunk size in lines.
+const dramSlabLines = 256
+
+// lineBuf carves storage for one newly touched line.
+func (c *Controller) lineBuf() []byte {
+	if len(c.slab) < c.lineSize {
+		c.slab = make([]byte, dramSlabLines*c.lineSize)
+	}
+	b := c.slab[:c.lineSize:c.lineSize]
+	c.slab = c.slab[c.lineSize:]
+	return b
 }
 
 // New builds a controller. cfg supplies bandwidth partitioning (via the
@@ -76,7 +92,7 @@ func (c *Controller) WriteLine(line uint64, src []byte, now arch.Cycles) arch.Cy
 	lat := c.access(now)
 	buf, ok := c.store[line]
 	if !ok {
-		buf = make([]byte, c.lineSize)
+		buf = c.lineBuf()
 		c.store[line] = buf
 	}
 	copy(buf, src)
@@ -100,7 +116,7 @@ func (c *Controller) Peek(line uint64, off int, dst []byte) {
 func (c *Controller) Poke(line uint64, off int, src []byte) {
 	buf, ok := c.store[line]
 	if !ok {
-		buf = make([]byte, c.lineSize)
+		buf = c.lineBuf()
 		c.store[line] = buf
 	}
 	copy(buf[off:], src)

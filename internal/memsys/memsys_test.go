@@ -50,6 +50,7 @@ func newCluster(t testing.TB, cfg config.Config) *cluster {
 			t.Fatal(err)
 		}
 		net := network.New(arch.TileID(tile), tr, ep, models, prog)
+		net.SetPrimary(network.ClassMemory)
 		net.Start()
 		node := NewNode(arch.TileID(tile), &c.cfg, net, prog)
 		go node.Serve()
@@ -462,8 +463,11 @@ func TestStatsAccounting(t *testing.T) {
 	c := newCluster(t, testConfig(2))
 	n := c.nodes[0]
 	buf := make([]byte, 8)
-	n.Read(0x10000, buf, 0)
-	n.Write(0x10000, buf, 100)
+	// A remotely homed line (line 0x10040>>6 = 1025, home 1025%2 = tile 1),
+	// so the miss crosses the network: the local-home shortcut serves
+	// locally homed lines without any packets at all.
+	n.Read(0x10040, buf, 0)
+	n.Write(0x10040, buf, 100)
 	st := n.Stats()
 	if st.Loads != 1 || st.Stores != 1 {
 		t.Fatalf("loads=%d stores=%d", st.Loads, st.Stores)

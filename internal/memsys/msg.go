@@ -10,16 +10,32 @@
 // completes with correct program output therefore validates the protocol.
 //
 // Concurrency model. Each tile runs one memory server goroutine (Serve)
-// that processes all memory-class packets addressed to the tile — both in
-// its home/directory role and in its cache-controller role. The tile's
-// core thread issues at most one outstanding request at a time (one app
-// thread per tile). State is split into lock domains (see Node): the core
-// domain (caches, pending-miss slot) under one mutex, and the home
-// directory sharded by line region with a mutex per shard, so directory
-// traffic does not contend with the tile's own core. The server's
-// outgoing messages are batched per destination and flushed before the
-// server blocks or wakes its core, which preserves the per-sender-FIFO
-// orderings the protocol relies on (see the race analysis in DESIGN.md).
+// that processes all memory-class packets addressed to the tile — its
+// home/directory role, coherence commands against its caches, and replies
+// completing its core's outstanding miss. The tile's core context issues
+// at most one outstanding request at a time (one app thread per tile).
+//
+// The caches are a single-writer domain guarded by a biased ownership
+// word (Node.coreState), not a mutex: the core context claims the word
+// with one CAS per access and releases it with another, and the hot path
+// — an L1/L2 hit — runs with zero locks between those two operations.
+// Home-initiated interventions (Inv/Wb/Flush) never touch the caches from
+// the server goroutine while the core holds the word: they are published
+// through an intervention mailbox plus a pending bit that the core's
+// release observes and drains. When the word is free — the tile's thread
+// is blocked on its own miss, in a control-plane RPC, computing natively,
+// or long exited — the server claims the word itself and applies the
+// intervention on the spot, so a quiet tile can never stall the protocol.
+// Miss completions transfer ownership back: the server matches the reply,
+// re-marks the word owned, and the woken core installs the line itself.
+// The full ownership and ordering argument lives in DESIGN.md §13.
+//
+// The home directory is sharded by line region with a mutex per shard, so
+// directory traffic does not contend with the tile's own core. The
+// server's outgoing messages are batched per destination and flushed
+// before the server blocks or wakes its core, which preserves the
+// per-sender-FIFO orderings the protocol relies on (see the race analysis
+// in DESIGN.md).
 package memsys
 
 import (
@@ -84,6 +100,14 @@ type reqPayload struct {
 	mask  uint64
 	flags uint8
 }
+
+// Encoded payload sizes, used by the local-home shortcut to charge the
+// exact wire timing a loopback message would have had.
+const (
+	reqPayloadLen  = 17 // encodeReq
+	dataPayloadLen = 21 // encodeData, excluding line data
+	linePayloadLen = 8  // encodeLine
+)
 
 // ensureLen returns a length-n slice, reusing scratch's storage when it is
 // large enough. The encoders below take a scratch buffer because encoded

@@ -16,22 +16,9 @@ import (
 	"repro/internal/transport"
 )
 
-// replyInfo is what the server hands back to a core thread blocked on a
-// miss.
-type replyInfo struct {
-	// arrival is the simulated time the reply reached this tile.
-	arrival arch.Cycles
-	// kind classifies the miss.
-	kind stats.MissKind
-	// upgraded reports an S->M upgrade (counted separately from misses).
-	upgraded bool
-	// data is the peek result for peek requests.
-	data []byte
-}
-
 // pendingReq is the tile's single outstanding memory request. The server
-// completes it when the home's reply arrives: it inserts the line, applies
-// the operation under the hierarchy mutex, and signals done.
+// goroutine routes the completing reply packet to done; the core context
+// applies it (installs the line, performs the operation) on wake.
 type pendingReq struct {
 	seq     uint64
 	line    cache.LineAddr
@@ -44,13 +31,15 @@ type pendingReq struct {
 	rbuf    []byte // destination for loaded bytes
 	mask    uint64 // accessed-words mask
 	sentAt  arch.Cycles
-	done    chan replyInfo
+	done    chan network.Packet
 }
 
 // dirLine is the home-side state of one line: the directory entry, the
-// in-flight transaction if any, and requests queued behind it.
+// in-flight transaction if any, and requests queued behind it. The entry
+// is embedded (not pointed to) so a line's home state costs one allocation
+// for its whole lifetime.
 type dirLine struct {
-	entry   *directory.Entry
+	entry   directory.Entry
 	busy    *txn
 	pending []network.Packet
 }
@@ -58,9 +47,10 @@ type dirLine struct {
 // dirShard is one independently locked region of the tile's home
 // directory. Home-side protocol state is sharded by line address so that
 // directory traffic for different line regions, and above all the tile's
-// own core (which runs under Node.mu, not a shard lock), never contend on
-// a single per-tile mutex. Each shard carries its own sub-request sequence
-// counter and home-side statistics so nothing shared remains.
+// own core (which owns the caches lock-free), never contend on a single
+// per-tile mutex. Each shard carries its own sub-request sequence counter,
+// transaction free list, and home-side statistics so nothing shared
+// remains.
 type dirShard struct {
 	mu    sync.Mutex
 	lines map[cache.LineAddr]*dirLine
@@ -68,6 +58,14 @@ type dirShard struct {
 	// Replies carry it back; a per-shard counter is unambiguous because
 	// replies are matched per line and lines never change shards.
 	homeSeq uint64
+	// txnFree recycles transaction records (and their flush-data buffers):
+	// one transaction begins per home request, so pooling them removes a
+	// steady per-miss allocation. Guarded by mu like the rest.
+	txnFree []*txn
+	// slab carves dirLine records in chunks: one allocation per chunk
+	// instead of one per line ever homed here. Records are pointed into
+	// and never move (the spent chunk is dropped, not regrown).
+	slab []dirLine
 	// Home-side stat counters, aggregated by Stats().
 	dirRequests, dirTraps, invSent uint64
 }
@@ -86,23 +84,49 @@ type txn struct {
 	ifetch    bool
 	line      cache.LineAddr
 
-	waitAcks  int         // outstanding InvReps
-	waitData  bool        // outstanding WbRep/FlushRep
-	dataFrom  arch.TileID // tile the data is expected from
-	haveData  bool
+	waitAcks int         // outstanding InvReps
+	waitData bool        // outstanding WbRep/FlushRep
+	dataFrom arch.TileID // tile the data is expected from
+	haveData bool
+	// data holds flushed owner data in a buffer owned by the transaction
+	// record; reset (not reallocated) when the record is recycled.
 	data      []byte
 	dataMask  uint64 // accumulated write mask from the flushing owner
 	latest    arch.Cycles
 	trapExtra arch.Cycles // LimitLESS software trap cycles to charge
 }
 
-// Node is one tile's memory subsystem. Its state is split into three lock
-// domains so the hot paths do not serialize on one per-tile mutex:
+// coreState values. The word is the entire fast-path synchronization
+// protocol — a biased, single-writer ownership token over the core domain
+// (see DESIGN.md §13):
 //
-//   - the core domain (mu): caches, the single pending-miss slot, and miss
-//     classification state — everything the tile's own core touches;
+//	0            free: no one is touching the caches. The core claims
+//	             with one CAS per access; the server claims transiently
+//	             (under mu) to apply an intervention against an idle tile.
+//	stCoreActive the core context is inside an access and owns the domain
+//	             lock-free.
+//	stSrvBusy    the server goroutine owns the domain (idle tile) and is
+//	             applying interventions. Set and cleared only under mu.
+//	stPending    ORed onto stCoreActive by the server: interventions are
+//	             queued in the mailbox. The core's release CAS fails on it
+//	             and drains the backlog before going idle, so intervention
+//	             latency is bounded by the current access.
+const (
+	stCoreActive = 1 << 0
+	stSrvBusy    = 1 << 1
+	stPending    = 1 << 2
+)
+
+// Node is one tile's memory subsystem. Its state is split into ownership
+// domains so the hot path — an L1/L2 hit — takes no locks at all:
+//
+//   - the core domain: caches, miss-classification state, and the hot
+//     statistics counters. Single-writer: it is mutated by the core
+//     context (the goroutine driving Read/Write/Fetch) while the tile is
+//     unparked, and by the server goroutine only while the tile is parked.
+//     The coreState word plus mu mediate every ownership transfer.
 //   - the home domain (shards): directory state for lines homed here,
-//     sharded by line region, each shard with its own mutex;
+//     sharded by line region, each shard with its own mutex.
 //   - the DRAM controller (dramMu), shared by all home shards.
 //
 // The server goroutine takes exactly one domain lock per message, and the
@@ -112,11 +136,23 @@ type Node struct {
 	cfg  *config.Config
 	net  *network.Net
 
-	// Cache hierarchy, guarded by mu. L1s may be nil (disabled).
-	mu  sync.Mutex
+	// Cache hierarchy — core domain (see above). L1s may be nil (disabled).
 	l1i *cache.Cache
 	l1d *cache.Cache
 	l2  *cache.Cache
+
+	// coreState is the fast path's only synchronization: the biased
+	// ownership token over the core domain (values above). The hit path's
+	// entire locking cost is one claim CAS and one release CAS on this
+	// core-local word.
+	coreState atomic.Uint32
+
+	// mu guards the intervention mailbox, the pending-request slot, and
+	// the slow-path coreState transitions (server claims, drains,
+	// completion hand-off). It is NOT the cache lock: the hit path never
+	// takes it.
+	mu    sync.Mutex
+	intvQ []network.Packet
 
 	// Home role: the directory, sharded by line region. shardMask is
 	// len(shards)-1 (the count is a power of two).
@@ -138,10 +174,10 @@ type Node struct {
 	// allocated per miss.
 	pending *pendingReq
 	reqSlot pendingReq
-	reqDone chan replyInfo
+	reqDone chan network.Packet
 	seq     uint64
 
-	// Miss classification state, guarded by mu.
+	// Miss classification state — core domain.
 	everAccessed map[cache.LineAddr]struct{}
 	invalidated  map[cache.LineAddr]struct{}
 
@@ -149,22 +185,54 @@ type Node struct {
 	outstandingWB atomic.Int64
 	wbDrained     chan struct{} // signaled when outstandingWB may be zero
 
-	// Statistics, guarded by mu; home-side counters live in the shards and
-	// DRAM counters under dramMu, all aggregated by Stats().
+	// selfInflight counts this tile's own memory-class messages to itself
+	// that have been sent but not yet dispatched (evictions to the local
+	// home, replies to local-home interventions, and their acks). The
+	// local-home miss shortcut requires it to be zero: a self-directed
+	// message still in flight carries ordering the shortcut would jump
+	// (an EvictM whose data must land before a re-read, an EvictS that
+	// must clear the sharer bit before it is re-added). Incremented by
+	// the sending contexts, decremented by the server after dispatch.
+	selfInflight atomic.Int64
+
+	// localGrant is the core context's line buffer for shortcut grants.
+	localGrant []byte
+
+	// Statistics — core domain, written lock-free by the core context.
+	// Home-side counters live in the shards and DRAM counters under
+	// dramMu; Stats() aggregates all three.
 	st stats.Tile
 
 	// Payload scratch buffers: an encoded payload lives only until the
 	// next Send (which copies it into the wire frame), so each sending
-	// context recycles one buffer. coreScratch is guarded by mu;
-	// srvScratch and grantBuf belong to the server goroutine.
+	// context recycles one buffer. coreScratch belongs to the core
+	// context; srvScratch and grantBuf belong to the server goroutine.
 	coreScratch []byte
 	srvScratch  []byte
 	grantBuf    []byte
+
+	// coreArena carves wire frames for the core context's immediate sends
+	// (the server's batch has its own arena inside network.Batch).
+	coreArena network.FrameArena
+
+	// fetchBuf backs instruction fetches: the fetched bytes are consumed
+	// before Fetch returns and the core context issues one access at a
+	// time, so one buffer per node replaces a per-fetch allocation (the
+	// same argument as Thread.scratch).
+	fetchBuf []byte
+
+	// flushMeta is FlushAll's reusable victim list.
+	flushMeta []flushVictim
 
 	lineBits uint
 	lineSize int
 
 	stopped chan struct{}
+}
+
+type flushVictim struct {
+	addr  cache.LineAddr
+	state cache.State
 }
 
 // NewNode builds the memory subsystem of one tile. progress feeds the DRAM
@@ -185,11 +253,13 @@ func NewNode(tile arch.TileID, cfg *config.Config, net *network.Net, progress *c
 		everAccessed: make(map[cache.LineAddr]struct{}),
 		invalidated:  make(map[cache.LineAddr]struct{}),
 		wbDrained:    make(chan struct{}, 1),
-		reqDone:      make(chan replyInfo, 1),
+		reqDone:      make(chan network.Packet, 1),
 		lineSize:     cfg.LineSize(),
 		stopped:      make(chan struct{}),
 	}
 	n.grantBuf = make([]byte, n.lineSize)
+	n.fetchBuf = make([]byte, n.lineSize)
+	n.localGrant = make([]byte, n.lineSize)
 	for i := range n.shards {
 		n.shards[i].lines = make(map[cache.LineAddr]*dirLine)
 	}
@@ -207,6 +277,19 @@ func NewNode(tile arch.TileID, cfg *config.Config, net *network.Net, progress *c
 
 // Tile returns the tile this node belongs to.
 func (n *Node) Tile() arch.TileID { return n.tile }
+
+// ReleaseCaches returns the node's cache line arrays to their geometry
+// pools. Valid only after the server has stopped (Stopped closed) and no
+// core context will access the node again; Stats is invalid afterwards.
+func (n *Node) ReleaseCaches() {
+	if n.l1i != nil {
+		n.l1i.Release()
+	}
+	if n.l1d != nil {
+		n.l1d.Release()
+	}
+	n.l2.Release()
+}
 
 // LineSize returns the coherence line size.
 func (n *Node) LineSize() int { return n.lineSize }
@@ -227,10 +310,87 @@ func (n *Node) shardFor(l cache.LineAddr) *dirShard {
 	return &n.shards[(uint64(l)/uint64(n.cfg.Tiles))&n.shardMask]
 }
 
-// Stats snapshots the tile's statistics. Safe to call after Serve stops;
-// during simulation it takes each domain lock in turn (never nested).
-func (n *Node) Stats() stats.Tile {
+// coreClaim takes single-writer ownership of the core domain for one
+// access. The uncontended case — the overwhelmingly common one — is a
+// single CAS on a core-local word; contention means the server is mid-
+// intervention on this idle-until-now tile, and the claim waits for it
+// under mu.
+func (n *Node) coreClaim() {
+	if n.coreState.CompareAndSwap(0, stCoreActive) {
+		return
+	}
+	n.claimSlow()
+}
+
+func (n *Node) claimSlow() {
+	// The word was not free: the server holds it (stSrvBusy, only ever set
+	// with mu held). Taking mu waits it out; a stale pending backlog is
+	// drained defensively before the claim.
 	n.mu.Lock()
+	n.drainLocked(false)
+	n.coreState.Store(stCoreActive)
+	n.mu.Unlock()
+}
+
+// coreRelease returns the domain to the free state at the end of an
+// access. If the server queued interventions while the access ran (the
+// release CAS fails on stPending), the core drains them — in arrival
+// order, with immediate replies — before going idle, so intervention
+// latency is bounded by one access.
+func (n *Node) coreRelease() {
+	if n.coreState.CompareAndSwap(stCoreActive, 0) {
+		return
+	}
+	n.mu.Lock()
+	n.drainLocked(false)
+	n.coreState.Store(0)
+	n.mu.Unlock()
+}
+
+// drainLocked applies every queued intervention in arrival order. srv
+// selects the sending context for replies (server batch vs. immediate
+// core send). Called with mu held by whichever context owns the domain.
+func (n *Node) drainLocked(srv bool) {
+	for i := 0; i < len(n.intvQ); i++ {
+		pkt := n.intvQ[i]
+		n.intvQ[i] = network.Packet{}
+		n.applyIntervention(pkt, srv)
+	}
+	n.intvQ = n.intvQ[:0]
+}
+
+// queueIntervention publishes a home-initiated cache command (Inv/Wb/
+// Flush) to the core domain. An idle tile (word free) is served by the
+// server on the spot — it claims the word, applies, and releases — so a
+// tile whose thread is blocked, napping, computing natively, or long gone
+// can never stall the protocol. A tile whose core is mid-access gets the
+// command queued in the mailbox, flagged by stPending; the core's release
+// CAS observes the flag and drains. Called by the server goroutine only.
+func (n *Node) queueIntervention(pkt network.Packet) {
+	n.mu.Lock()
+	n.intvQ = append(n.intvQ, pkt)
+	for {
+		s := n.coreState.Load()
+		if s == 0 {
+			if n.coreState.CompareAndSwap(0, stSrvBusy) {
+				n.drainLocked(true)
+				n.coreState.Store(0)
+				break
+			}
+			continue // the core just claimed; flag it instead
+		}
+		if n.coreState.CompareAndSwap(s, s|stPending) {
+			break
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Stats snapshots the tile's statistics. The core-domain counters are
+// read without synchronization, so callers must either be the tile's own
+// core context or observe the tile quiesced (thread exited or parked, as
+// at collection time); home and DRAM counters take their domain locks.
+func (n *Node) Stats() stats.Tile {
 	st := n.st
 	if n.l1i != nil {
 		st.L1IHits, st.L1IMisses = n.l1i.Hits, n.l1i.Misses
@@ -241,7 +401,6 @@ func (n *Node) Stats() stats.Tile {
 	st.L2Hits, st.L2Misses = n.l2.Hits, n.l2.Misses
 	st.L2Evictions = n.l2.Evictions
 	st.L2Writebacks = n.l2.Writebacks
-	n.mu.Unlock()
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.mu.Lock()
@@ -263,13 +422,16 @@ func (n *Node) Stats() stats.Tile {
 	return st
 }
 
-// send transmits a memory-class packet immediately. It is the core-thread
-// path (miss requests, FlushAll writebacks, peek/poke). Sends racing
-// simulation teardown (transport already closed) are dropped silently —
-// the receiver is gone; any other transport failure is unrecoverable
-// simulator state.
+// send transmits a memory-class packet immediately. It is the core-context
+// path (miss requests, drain replies, FlushAll writebacks, peek/poke).
+// Sends racing simulation teardown (transport already closed) are dropped
+// silently — the receiver is gone; any other transport failure is
+// unrecoverable simulator state.
 func (n *Node) send(typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) arch.Cycles {
-	arrival, err := n.net.Send(network.ClassMemory, typ, dst, seq, payload, now)
+	if dst == n.tile {
+		n.selfInflight.Add(1)
+	}
+	arrival, err := n.net.SendFrom(&n.coreArena, network.ClassMemory, typ, dst, seq, payload, now)
 	if err != nil {
 		if errors.Is(err, transport.ErrClosed) {
 			return now
@@ -281,9 +443,12 @@ func (n *Node) send(typ uint8, dst arch.TileID, seq uint64, payload []byte, now 
 
 // sendSrv queues a memory-class packet on the server goroutine's batch;
 // Serve flushes it before blocking and before waking the local core, which
-// preserves per-sender FIFO against the core thread's immediate sends.
+// preserves per-sender FIFO against the core context's immediate sends.
 // Only the server goroutine may call it.
 func (n *Node) sendSrv(typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) arch.Cycles {
+	if dst == n.tile {
+		n.selfInflight.Add(1)
+	}
 	return n.out.Send(network.ClassMemory, typ, dst, seq, payload, now)
 }
 

@@ -183,6 +183,100 @@ func TestWriteMaskTracksWords(t *testing.T) {
 	}
 }
 
+// TestLockFreeHitPathUnderInvalidationStorm hammers one tile's lock-free
+// hit path while remote tiles concurrently force invalidations, flushes,
+// and upgrade demotions of the very same lines (each tile owns one 8-byte
+// word per line, remote tiles write — and sometimes first read, forcing
+// S-copy upgrades — their words). Run under -race this is the memory-model
+// check of the single-writer ownership protocol (DESIGN.md §13); the
+// assertions check that no write is lost or torn and that the core-owned
+// hit/miss counters stay exact:
+//
+//   - tile 0 reads back exactly what it wrote, every iteration, even when
+//     the line was invalidated or downgraded in between;
+//   - Loads/Stores equal the issued operation counts;
+//   - every load consults the L1D exactly once (L1DHits+L1DMisses ==
+//     Loads) and the L2 is consulted exactly once per store and per L1D
+//     miss — identities that would be violated if an intervention ever
+//     raced the hit path into a double count or a lost one.
+func TestLockFreeHitPathUnderInvalidationStorm(t *testing.T) {
+	cfg := testConfig(4)
+	c := newCluster(t, cfg)
+	const lines = 8
+	const iters = 300
+	base := arch.Addr(0x500000)
+	var wg sync.WaitGroup
+	for tile := 1; tile < 4; tile++ {
+		wg.Add(1)
+		go func(tile int) {
+			defer wg.Done()
+			n := c.nodes[tile]
+			rng := rand.New(rand.NewSource(int64(tile) * 9973))
+			var b [8]byte
+			for k := 0; k < iters; k++ {
+				line := rng.Intn(lines)
+				addr := base + arch.Addr(line*64+tile*8)
+				if rng.Intn(3) == 0 {
+					// Take a Shared copy first so the write becomes an
+					// upgrade — which a concurrent writer can demote.
+					n.Read(addr, b[:], arch.Cycles(k))
+				}
+				binary.LittleEndian.PutUint64(b[:], uint64(tile)<<32|uint64(k+1))
+				n.Write(addr, b[:], arch.Cycles(k))
+			}
+		}(tile)
+	}
+	var loads, stores uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := c.nodes[0]
+		var b [8]byte
+		for k := 0; k < 4*iters; k++ {
+			addr := base + arch.Addr((k%lines)*64)
+			binary.LittleEndian.PutUint64(b[:], uint64(k))
+			n.Write(addr, b[:], arch.Cycles(k))
+			stores++
+			n.Read(addr, b[:], arch.Cycles(k))
+			loads++
+			if got := binary.LittleEndian.Uint64(b[:]); got != uint64(k) {
+				t.Errorf("iter %d: read back %d, want %d", k, got, k)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	st := c.nodes[0].Stats()
+	if st.Loads != loads || st.Stores != stores {
+		t.Fatalf("counters loads=%d stores=%d, issued %d/%d", st.Loads, st.Stores, loads, stores)
+	}
+	if st.L1DHits+st.L1DMisses != st.Loads {
+		t.Fatalf("L1D consults %d+%d != loads %d", st.L1DHits, st.L1DMisses, st.Loads)
+	}
+	if st.L2Hits+st.L2Misses != st.Stores+st.L1DMisses {
+		t.Fatalf("L2 consults %d+%d != stores %d + L1D misses %d",
+			st.L2Hits, st.L2Misses, st.Stores, st.L1DMisses)
+	}
+	// Every tile's final word values: tile 0's word holds its last write,
+	// remote words carry their writer's tag (or were never written).
+	var b [8]byte
+	for line := 0; line < lines; line++ {
+		c.nodes[0].Read(base+arch.Addr(line*64), b[:], 1_000_000)
+		// The last write to this line by tile 0 was the largest k < 4*iters
+		// with k%lines == line.
+		if got, want := binary.LittleEndian.Uint64(b[:]), uint64(4*iters-lines+line); got != want {
+			t.Fatalf("line %d word 0 = %d, want %d", line, got, want)
+		}
+		for tile := 1; tile < 4; tile++ {
+			c.nodes[0].Read(base+arch.Addr(line*64+tile*8), b[:], 1_000_000)
+			if got := binary.LittleEndian.Uint64(b[:]); got != 0 && got>>32 != uint64(tile) {
+				t.Fatalf("line %d word of tile %d holds foreign value %#x", line, tile, got)
+			}
+		}
+	}
+}
+
 // TestPeekPokeStraddlesLines exercises the functional path across line
 // and home boundaries.
 func TestPeekPokeStraddlesLines(t *testing.T) {

@@ -12,10 +12,11 @@ import (
 )
 
 // coreWake is a deferred completion of the local core's outstanding miss:
-// Serve signals it only after flushing batched sends (see Serve).
+// Serve delivers the reply packet only after flushing batched sends (see
+// Serve). The core context applies the completion itself on wake.
 type coreWake struct {
-	done chan replyInfo
-	info replyInfo
+	done chan network.Packet
+	pkt  network.Packet
 }
 
 // maxDrain bounds how many queued packets Serve processes before flushing
@@ -34,36 +35,63 @@ const maxDrain = 64
 // distributed protocol cannot deadlock even while this tile's own core is
 // blocked on a miss.
 //
+// The server does not own this tile's caches: the core context does (see
+// DESIGN.md §13). Inv/Wb/Flush commands are applied directly only after
+// claiming the free ownership word (an idle tile); against a mid-access
+// core they are published to the intervention mailbox for the core to
+// drain at release. Completion replies are handed to the blocked core,
+// which installs the granted line itself after ownership returns with the
+// hand-off.
+//
 // Outgoing messages are batched per destination and flushed when the
 // inbound queue is momentarily empty (or maxDrain is hit) — always before
 // Serve blocks again, which keeps the protocol live, and always before a
-// waiting core thread is woken, which keeps per-sender FIFO intact: a
-// woken core may immediately send new messages (a miss for the line just
-// evicted, say) that must not overtake the writeback still sitting in the
-// batch.
+// waiting core is woken, which keeps per-sender FIFO intact: a woken core
+// may immediately send new messages (a miss for a line whose flush reply
+// is still sitting in the batch, say) that must not overtake them.
 func (n *Node) Serve() {
-	defer close(n.stopped)
+	defer func() {
+		// Teardown: unblock a core waiting on a completion that will never
+		// arrive. The request slot is dead from here on.
+		n.mu.Lock()
+		if n.pending != nil {
+			done := n.pending.done
+			n.pending = nil
+			close(done)
+		}
+		n.mu.Unlock()
+		close(n.stopped)
+	}()
 	var wake []coreWake
+	var burst [maxDrain]network.Packet
 	for {
 		pkt, ok := n.net.Recv(network.ClassMemory)
 		if !ok {
 			n.flushSends()
 			return
 		}
-		for processed := 1; ; processed++ {
-			if done, info := n.dispatch(pkt); done != nil {
-				wake = append(wake, coreWake{done, info})
+		if done, rep := n.dispatch(pkt); done != nil {
+			wake = append(wake, coreWake{done, rep})
+		}
+		if pkt.Src == n.tile {
+			n.selfInflight.Add(-1)
+		}
+		// Drain whatever else is queued — one lock for the whole burst —
+		// before flushing and waking, bounded so a long inbound stream can
+		// starve neither the flush nor the waiting core.
+		k := n.net.TryRecvBurst(network.ClassMemory, burst[1:])
+		for i := 1; i <= k; i++ {
+			if done, rep := n.dispatch(burst[i]); done != nil {
+				wake = append(wake, coreWake{done, rep})
 			}
-			if processed >= maxDrain {
-				break
+			if burst[i].Src == n.tile {
+				n.selfInflight.Add(-1)
 			}
-			if pkt, ok = n.net.TryRecv(network.ClassMemory); !ok {
-				break
-			}
+			burst[i] = network.Packet{}
 		}
 		n.flushSends()
 		for i := range wake {
-			wake[i].done <- wake[i].info
+			wake[i].done <- wake[i].pkt
 			wake[i] = coreWake{}
 		}
 		wake = wake[:0]
@@ -80,12 +108,13 @@ func (n *Node) flushSends() {
 // Stopped reports server termination (for tests and teardown).
 func (n *Node) Stopped() <-chan struct{} { return n.stopped }
 
-// dispatch decodes a packet and routes it to its lock domain: home-side
-// messages to the directory shard of their line, cache commands and core
-// completions to the core domain (mu). Exactly one domain lock is taken
-// per message and nothing under a lock blocks, so the domains cannot
-// deadlock against the core thread or each other.
-func (n *Node) dispatch(pkt network.Packet) (chan replyInfo, replyInfo) {
+// dispatch decodes a packet and routes it to its domain: home-side
+// messages to the directory shard of their line, cache commands to the
+// intervention mailbox (or, while the core is parked, directly against the
+// caches), and completions to the blocked core. Nothing under a lock
+// blocks, so the domains cannot deadlock against the core context or each
+// other.
+func (n *Node) dispatch(pkt network.Packet) (chan network.Packet, network.Packet) {
 	switch pkt.Type {
 	case msgShReq, msgExReq:
 		req, err := decodeReq(pkt.Payload)
@@ -117,9 +146,7 @@ func (n *Node) dispatch(pkt network.Packet) (chan replyInfo, replyInfo) {
 		n.handleEvictM(sh, pkt, p)
 		sh.mu.Unlock()
 	case msgInvReq, msgWbReq, msgFlushReq:
-		n.mu.Lock()
-		n.handleControllerOp(pkt)
-		n.mu.Unlock()
+		n.queueIntervention(pkt)
 	case msgInvRep, msgWbRep, msgFlushRep:
 		p, err := decodeData(pkt.Payload)
 		if err != nil {
@@ -130,25 +157,77 @@ func (n *Node) dispatch(pkt network.Packet) (chan replyInfo, replyInfo) {
 		n.handleHomeReply(sh, pkt, p)
 		sh.mu.Unlock()
 	case msgShRep, msgExRep, msgUpgRep, msgPeekRep, msgPokeAck:
-		n.mu.Lock()
-		done, info := n.completeCore(pkt)
-		n.mu.Unlock()
-		return done, info
+		return n.handoffCompletion(pkt)
 	case msgEvictAck:
 		n.wbAcked()
 	case msgPeek, msgPoke:
 		n.handlePeekPoke(pkt)
 	}
-	return nil, replyInfo{}
+	return nil, network.Packet{}
 }
+
+// handoffCompletion matches a completion reply against the outstanding
+// request and returns the core's wake channel. For miss completions it
+// also re-grants core-domain ownership (marking the word stCoreActive)
+// before the reply is delivered: the core installs the line itself, and
+// every intervention the server receives from this point on queues in the
+// mailbox and is drained by the core after that installation — which is
+// exactly arrival order, because the home serializes per line and sent
+// the grant first. Stale replies (sequence mismatch) are dropped.
+func (n *Node) handoffCompletion(pkt network.Packet) (chan network.Packet, network.Packet) {
+	n.mu.Lock()
+	pr := n.pending
+	if pr == nil || pr.seq != pkt.Seq {
+		n.mu.Unlock()
+		return nil, network.Packet{}
+	}
+	n.pending = nil
+	if !pr.peek && !pr.poke {
+		// The word is free here: the core released it before blocking and
+		// the server's own claims are transient under this mu.
+		n.coreState.Store(stCoreActive)
+	}
+	done := pr.done
+	n.mu.Unlock()
+	return done, pkt
+}
+
+// dirLineSlabChunk sizes the shard's dirLine slab: small enough that a
+// sparse shard (tile count × shard count of them exist per simulation)
+// wastes little, large enough to amortize the allocation.
+const dirLineSlabChunk = 8
 
 func (sh *dirShard) dirLineOf(n *Node, l cache.LineAddr) *dirLine {
 	dl := sh.lines[l]
 	if dl == nil {
-		dl = &dirLine{entry: directory.NewEntry(n.cfg.Coherence, n.cfg.Tiles)}
+		if len(sh.slab) == 0 {
+			sh.slab = make([]dirLine, dirLineSlabChunk)
+		}
+		dl = &sh.slab[0]
+		sh.slab = sh.slab[1:]
+		directory.InitEntry(&dl.entry, n.cfg.Coherence, n.cfg.Tiles)
 		sh.lines[l] = dl
 	}
 	return dl
+}
+
+// getTxn takes a transaction record from the shard's free list (or
+// allocates the first time). Called with the shard locked.
+func (sh *dirShard) getTxn() *txn {
+	if len(sh.txnFree) == 0 {
+		return &txn{}
+	}
+	tx := sh.txnFree[len(sh.txnFree)-1]
+	sh.txnFree = sh.txnFree[:len(sh.txnFree)-1]
+	return tx
+}
+
+// putTxn recycles a completed transaction record, keeping its data buffer.
+// Called with the shard locked.
+func (sh *dirShard) putTxn(tx *txn) {
+	buf := tx.data[:0]
+	*tx = txn{data: buf}
+	sh.txnFree = append(sh.txnFree, tx)
 }
 
 // handleRequest is the home's entry point for ShReq/ExReq. Called with the
@@ -164,10 +243,12 @@ func (n *Node) handleRequest(sh *dirShard, pkt network.Packet, req reqPayload) {
 }
 
 func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPayload) {
-	e := dl.entry
+	e := &dl.entry
 	t := pkt.Time + n.cfg.Coherence.DirLatency
 	sh.homeSeq++
-	tx := &txn{
+	tx := sh.getTxn()
+	buf := tx.data[:0]
+	*tx = txn{
 		homeSeq:   sh.homeSeq,
 		reqType:   pkt.Type,
 		requester: pkt.Src,
@@ -177,6 +258,7 @@ func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPa
 		ifetch:    req.flags&flagIFetch != 0,
 		line:      cache.LineAddr(req.line),
 		latest:    t,
+		data:      buf,
 	}
 
 	if pkt.Type == msgShReq {
@@ -225,9 +307,10 @@ func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPa
 	n.completeTxn(sh, dl, tx, t)
 }
 
-// completeTxn grants the request and replies to the requester.
+// completeTxn grants the request, replies to the requester, and recycles
+// the transaction record.
 func (n *Node) completeTxn(sh *dirShard, dl *dirLine, tx *txn, now arch.Cycles) {
-	e := dl.entry
+	e := &dl.entry
 	t := now
 	if tx.latest > t {
 		t = tx.latest
@@ -291,6 +374,7 @@ func (n *Node) completeTxn(sh *dirShard, dl *dirLine, tx *txn, now arch.Cycles) 
 		}
 	}
 	dl.busy = nil
+	sh.putTxn(tx)
 	n.popPending(sh, dl)
 }
 
@@ -320,7 +404,7 @@ func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) 
 	if pkt.Time > tx.latest {
 		tx.latest = pkt.Time
 	}
-	e := dl.entry
+	e := &dl.entry
 	switch pkt.Type {
 	case msgInvRep:
 		tx.waitAcks--
@@ -337,7 +421,7 @@ func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) 
 		}
 		tx.waitData = false
 		tx.haveData = true
-		tx.data = cloneBytes(p.data)
+		tx.data = append(tx.data[:0], p.data...)
 		tx.dataMask = p.mask
 		e.Owner = arch.InvalidTile
 		// The former owner retains a Shared copy. An M line has no other
@@ -357,7 +441,7 @@ func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) 
 		}
 		tx.waitData = false
 		tx.haveData = true
-		tx.data = cloneBytes(p.data)
+		tx.data = append(tx.data[:0], p.data...)
 		tx.dataMask = p.mask
 		e.Owner = arch.InvalidTile
 		e.LastWriter = pkt.Src
@@ -375,13 +459,13 @@ func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) 
 func (n *Node) handleEvictM(sh *dirShard, pkt network.Packet, p dataPayload) {
 	n.sendSrv(msgEvictAck, pkt.Src, pkt.Seq, n.srvEncLine(p.line), pkt.Time)
 	dl := sh.dirLineOf(n, cache.LineAddr(p.line))
-	e := dl.entry
+	e := &dl.entry
 	n.dramWrite(p.line, p.data, pkt.Time)
 	if dl.busy != nil && dl.busy.waitData && dl.busy.dataFrom == pkt.Src {
 		tx := dl.busy
 		tx.waitData = false
 		tx.haveData = true
-		tx.data = cloneBytes(p.data)
+		tx.data = append(tx.data[:0], p.data...)
 		tx.dataMask = p.mask
 		if pkt.Time > tx.latest {
 			tx.latest = pkt.Time
@@ -401,9 +485,12 @@ func (n *Node) handleEvictM(sh *dirShard, pkt network.Packet, p dataPayload) {
 	}
 }
 
-// handleControllerOp serves Inv/Wb/Flush commands against the local caches.
-// Called with the core domain (mu) locked.
-func (n *Node) handleControllerOp(pkt network.Packet) {
+// applyIntervention serves one Inv/Wb/Flush command against the local
+// caches. It runs in whichever context owns the core domain at the time:
+// the core context draining its mailbox (srv == false, immediate replies)
+// or the server goroutine while the core is parked (srv == true, batched
+// replies flushed before the core can wake). Called with mu held.
+func (n *Node) applyIntervention(pkt network.Packet, srv bool) {
 	line, err := decodeLine(pkt.Payload)
 	if err != nil {
 		panic("memsys: " + err.Error())
@@ -412,8 +499,10 @@ func (n *Node) handleControllerOp(pkt network.Packet) {
 	t := pkt.Time + n.l2.HitLatency()
 	pay := dataPayload{line: line, writer: n.tile}
 
+	var typ uint8
 	switch pkt.Type {
 	case msgInvReq:
+		typ = msgInvRep
 		if ln, ok := n.l2.Invalidate(l); ok {
 			if ln.State == cache.Modified {
 				// Defensive: should have been a FlushReq.
@@ -426,8 +515,8 @@ func (n *Node) handleControllerOp(pkt network.Packet) {
 		} else {
 			pay.flags |= flagNotPresent
 		}
-		n.sendSrv(msgInvRep, pkt.Src, pkt.Seq, n.srvEncData(pay), t)
 	case msgWbReq:
+		typ = msgWbRep
 		if ln := n.l2.Peek(l); ln != nil {
 			pay.flags |= flagHasData
 			pay.mask = ln.WriteMask
@@ -436,8 +525,8 @@ func (n *Node) handleControllerOp(pkt network.Packet) {
 		} else {
 			pay.flags |= flagNotPresent
 		}
-		n.sendSrv(msgWbRep, pkt.Src, pkt.Seq, n.srvEncData(pay), t)
 	case msgFlushReq:
+		typ = msgFlushRep
 		if ln, ok := n.l2.Invalidate(l); ok {
 			pay.flags |= flagHasData
 			pay.mask = ln.WriteMask
@@ -447,117 +536,51 @@ func (n *Node) handleControllerOp(pkt network.Packet) {
 		} else {
 			pay.flags |= flagNotPresent
 		}
-		n.sendSrv(msgFlushRep, pkt.Src, pkt.Seq, n.srvEncData(pay), t)
+	default:
+		panic("memsys: unexpected intervention " + msgName(pkt.Type))
+	}
+	if srv {
+		n.sendSrv(typ, pkt.Src, pkt.Seq, n.srvEncData(pay), t)
+	} else {
+		n.send(typ, pkt.Src, pkt.Seq, n.coreEncData(pay), t)
 	}
 }
 
-// completeCore finishes the tile's outstanding miss: it installs the line,
-// applies the pending operation, classifies the miss, and returns the
-// waiting core's channel (signaled by Serve after the send batch is
-// flushed).
-func (n *Node) completeCore(pkt network.Packet) (chan replyInfo, replyInfo) {
-	pr := n.pending
-	if pr == nil || pr.seq != pkt.Seq {
-		return nil, replyInfo{}
-	}
-	n.pending = nil
-	info := replyInfo{arrival: pkt.Time}
-
-	switch pkt.Type {
-	case msgPokeAck:
-		return pr.done, info
-	case msgPeekRep:
-		p, err := decodePeek(pkt.Payload)
-		if err != nil {
-			panic("memsys: " + err.Error())
-		}
-		info.data = cloneBytes(p.data)
-		return pr.done, info
-	}
-
-	p, err := decodeData(pkt.Payload)
-	if err != nil {
-		panic("memsys: " + err.Error())
-	}
-
-	switch pkt.Type {
-	case msgUpgRep:
-		ln := n.l2.Peek(pr.line)
-		if ln == nil {
-			// Home serializes per line: nothing can invalidate our copy
-			// between the upgrade grant and its arrival.
-			panic("memsys: upgrade grant for absent line")
-		}
-		ln.State = cache.Modified
-		n.applyWrite(ln, pr)
-		info.upgraded = true
-		n.st.Upgrades++
-	case msgShRep, msgExRep:
-		st := cache.Shared
-		if pkt.Type == msgExRep {
-			st = cache.Modified
-		}
-		if victim, evicted := n.l2.Insert(pr.line, st, p.data); evicted {
-			n.processVictim(victim, pkt.Time)
-		}
-		ln := n.l2.Peek(pr.line)
-		if pr.isWrite {
-			n.applyWrite(ln, pr)
-		} else {
-			copy(pr.rbuf, ln.Data[pr.off:pr.off+len(pr.rbuf)])
-			n.fillL1(pr, ln.Data)
-		}
-		if pr.ifetch {
-			n.st.IFetchMisses++
-		} else {
-			info.kind = n.classify(pr, p)
-			n.st.MissBy[info.kind]++
-			lat := pkt.Time - pr.sentAt
-			if lat < 0 {
-				lat = 0
-			}
-			n.st.MemLatencyTotal += lat
-			n.st.MemAccesses++
-		}
-		delete(n.invalidated, pr.line)
-		n.everAccessed[pr.line] = struct{}{}
-	}
-	return pr.done, info
-}
-
-// applyWrite stores the pending write into a Modified L2 line and keeps
-// the write-through L1D copy coherent.
-func (n *Node) applyWrite(ln *cache.Line, pr *pendingReq) {
-	copy(ln.Data[pr.off:], pr.wbuf)
+// applyWrite stores a write into a Modified L2 line and keeps the
+// write-through L1D copy coherent. Core context only.
+func (n *Node) applyWrite(ln *cache.Line, line cache.LineAddr, off int, wbuf []byte, mask uint64) {
+	copy(ln.Data[off:], wbuf)
 	ln.Dirty = true
-	ln.WriteMask |= pr.mask
+	ln.WriteMask |= mask
 	if n.l1d != nil {
-		if l1 := n.l1d.Peek(pr.line); l1 != nil {
-			copy(l1.Data[pr.off:], pr.wbuf)
+		if l1 := n.l1d.Peek(line); l1 != nil {
+			copy(l1.Data[off:], wbuf)
 		}
 	}
 }
 
 // fillL1 installs a freshly read line into the appropriate L1.
-func (n *Node) fillL1(pr *pendingReq, data []byte) {
-	if pr.ifetch {
+func (n *Node) fillL1(line cache.LineAddr, ifetch bool, data []byte) {
+	if ifetch {
 		if n.l1i != nil {
-			n.l1i.Insert(pr.line, cache.Shared, data)
+			n.l1i.Insert(line, cache.Shared, data)
 		}
 		return
 	}
 	if n.l1d != nil {
-		n.l1d.Insert(pr.line, cache.Shared, data)
+		n.l1d.Insert(line, cache.Shared, data)
 	}
 }
 
-// classify determines the miss kind (paper §4.4 / Figure 8).
-func (n *Node) classify(pr *pendingReq, p dataPayload) stats.MissKind {
-	if _, seen := n.everAccessed[pr.line]; !seen {
+// classify determines the miss kind (paper §4.4 / Figure 8). writer and
+// wmask are the line's last writer and its accumulated write mask as
+// granted by the home.
+func (n *Node) classify(line cache.LineAddr, mask uint64, writer arch.TileID, wmask uint64) stats.MissKind {
+	if _, seen := n.everAccessed[line]; !seen {
 		return stats.MissCold
 	}
-	if _, inv := n.invalidated[pr.line]; inv {
-		if p.writer != n.tile && p.writer != arch.InvalidTile && p.mask&pr.mask != 0 {
+	if _, inv := n.invalidated[line]; inv {
+		if writer != n.tile && writer != arch.InvalidTile && wmask&mask != 0 {
 			return stats.MissTrueSharing
 		}
 		return stats.MissFalseSharing
@@ -566,19 +589,72 @@ func (n *Node) classify(pr *pendingReq, p dataPayload) stats.MissKind {
 }
 
 // processVictim handles an L2 eviction: L1 inclusion and the home
-// notification (writeback for Modified victims). The notification rides
-// the server's send batch, which Serve flushes before waking the core —
-// so the core cannot re-request the victim line ahead of its writeback.
+// notification (writeback for Modified victims). It runs in the core
+// context, so the notification is sent immediately — per-sender FIFO
+// orders it ahead of any later miss the core issues for the same line.
+// Locally homed victims are applied inline when safe (localEvict).
 func (n *Node) processVictim(victim cache.Line, now arch.Cycles) {
 	n.invL1(victim.Addr)
 	home := n.homeOf(victim.Addr)
+	if home == n.tile && n.localEvict(victim, now) {
+		return
+	}
 	if victim.State == cache.Modified {
 		n.outstandingWB.Add(1)
 		pay := dataPayload{line: uint64(victim.Addr), mask: victim.WriteMask, writer: n.tile, flags: flagHasData, data: victim.Data}
-		n.sendSrv(msgEvictM, home, 0, n.srvEncData(pay), now)
+		n.send(msgEvictM, home, 0, n.coreEncData(pay), now)
 	} else {
-		n.sendSrv(msgEvictS, home, 0, n.srvEncLine(uint64(victim.Addr)), now)
+		n.send(msgEvictS, home, 0, n.coreEncLine(uint64(victim.Addr)), now)
 	}
+}
+
+// localEvict applies an eviction notification at the local home inline,
+// skipping the loopback EvictS/EvictM (and, for writebacks, the ack that
+// exists only to let FlushAll wait for remote application — a synchronous
+// local writeback needs none). The modeled timing matches the messaged
+// path: the notification's loopback delay is charged before the DRAM
+// write and the progress window sees the same delivery samples. Bails
+// (returns false) under the same ordering guards as localMiss: any
+// self-directed message in flight, or an open transaction on the line.
+// Called in the core context with no shard lock held; mu may or may not
+// be held (FlushAll holds it, the post-miss victim path does not) — the
+// function must therefore touch only shard-guarded state, the atomic
+// selfInflight word, and the DRAM domain, never the mailbox or the
+// pending slot.
+func (n *Node) localEvict(victim cache.Line, now arch.Cycles) bool {
+	if n.selfInflight.Load() != 0 {
+		return false
+	}
+	sh := n.shardFor(victim.Addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if victim.State != cache.Modified {
+		// Clean eviction: drop the sharer bit, as dispatch(msgEvictS) would.
+		if dl := sh.lines[victim.Addr]; dl != nil {
+			if dl.busy != nil {
+				return false
+			}
+			dl.entry.Sharers.Remove(n.tile)
+		}
+		n.net.Observe(now + n.net.Delay(network.ClassMemory, n.tile, linePayloadLen, now))
+		return true
+	}
+	dl := sh.dirLineOf(n, victim.Addr)
+	if dl.busy != nil {
+		return false
+	}
+	arr := now + n.net.Delay(network.ClassMemory, n.tile, dataPayloadLen+len(victim.Data), now)
+	n.net.Observe(arr)
+	n.dramWrite(uint64(victim.Addr), victim.Data, arr)
+	e := &dl.entry
+	if e.Owner == n.tile {
+		e.Owner = arch.InvalidTile
+		e.LastWriter = n.tile
+		e.LastWriterMask = victim.WriteMask
+	}
+	// Mirror the EvictAck delivery the messaged path would have produced.
+	n.net.Observe(arr + n.net.Delay(network.ClassMemory, n.tile, linePayloadLen, arr))
+	return true
 }
 
 func (n *Node) invL1(l cache.LineAddr) {
@@ -624,10 +700,4 @@ func (n *Node) wbAcked() {
 		default:
 		}
 	}
-}
-
-func cloneBytes(b []byte) []byte {
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
 }

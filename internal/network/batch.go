@@ -25,6 +25,11 @@ type Batch struct {
 	n     *Net
 	order []transport.EndpointID
 	pend  map[transport.EndpointID][][]byte
+	arena FrameArena
+	// Per-class traffic counters accumulated locally and folded into the
+	// Net's shared atomics once per Flush instead of three times per Send.
+	pkts, bytes [NumClasses]uint64
+	delay       [NumClasses]int64
 }
 
 // NewBatch creates a batching sender on this Net.
@@ -39,16 +44,16 @@ func (b *Batch) Send(class Class, typ uint8, dst arch.TileID, seq uint64, payloa
 	p := Packet{Class: class, Type: typ, Src: n.node, Dst: dst, Seq: seq, Payload: payload}
 	delay := n.models.Delay(class, n.node, dst, p.Bytes(), now)
 	p.Time = now + delay
-	n.stats.PacketsSent[class].Add(1)
-	n.stats.BytesSent[class].Add(uint64(p.Bytes()))
-	n.stats.TotalDelay[class].Add(int64(delay))
+	b.pkts[class]++
+	b.bytes[class] += uint64(p.Bytes())
+	b.delay[class] += int64(delay)
 	// Empty (not absent): Flush keeps drained entries in the map for
 	// reuse, so membership in order is "has pending frames", not "known".
 	ep := transport.EndpointID(dst)
 	if len(b.pend[ep]) == 0 {
 		b.order = append(b.order, ep)
 	}
-	b.pend[ep] = append(b.pend[ep], p.Encode())
+	b.pend[ep] = append(b.pend[ep], p.encodeInto(b.arena.alloc(p.Bytes())))
 	return p.Time
 }
 
@@ -66,6 +71,14 @@ func (b *Batch) Len() int {
 // transport error is returned; later destinations are still attempted so
 // a teardown race cannot strand deliverable messages.
 func (b *Batch) Flush() error {
+	for c := range b.pkts {
+		if b.pkts[c] != 0 {
+			b.n.stats.PacketsSent[c].Add(b.pkts[c])
+			b.n.stats.BytesSent[c].Add(b.bytes[c])
+			b.n.stats.TotalDelay[c].Add(b.delay[c])
+			b.pkts[c], b.bytes[c], b.delay[c] = 0, 0, 0
+		}
+	}
 	var firstErr error
 	for _, ep := range b.order {
 		frames := b.pend[ep]

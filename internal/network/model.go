@@ -1,8 +1,6 @@
 package network
 
 import (
-	"sync"
-
 	"repro/internal/arch"
 	"repro/internal/clock"
 	"repro/internal/config"
@@ -94,15 +92,15 @@ type Mesh struct {
 	width  int
 	height int
 
-	mu    sync.Mutex
-	links map[linkKey]*queuemodel.Queue
+	// links holds one contention queue per (router, direction), densely
+	// indexed — (y*width+x)*4+dir — and fully constructed up front, so the
+	// per-hop hot path is an array load with no map or mesh-wide lock
+	// (each Queue synchronizes itself). nil without a contention model.
+	links []*queuemodel.Queue
 	prog  *clock.ProgressWindow
 }
 
-type linkKey struct {
-	x, y int
-	dir  uint8 // 0=east 1=west 2=north 3=south
-}
+// Link directions: 0=east 1=west 2=north 3=south.
 
 func newMesh(cfg config.NetworkConfig, tiles int, prog *clock.ProgressWindow) *Mesh {
 	w := 1
@@ -112,7 +110,10 @@ func newMesh(cfg config.NetworkConfig, tiles int, prog *clock.ProgressWindow) *M
 	h := (tiles + w - 1) / w
 	m := &Mesh{cfg: cfg, width: w, height: h, prog: prog}
 	if prog != nil {
-		m.links = make(map[linkKey]*queuemodel.Queue)
+		m.links = make([]*queuemodel.Queue, w*h*4)
+		for i := range m.links {
+			m.links[i] = queuemodel.New(prog)
+		}
 	}
 	return m
 }
@@ -172,7 +173,7 @@ func (m *Mesh) Delay(src, dst arch.TileID, bytes int, depart arch.Cycles) arch.C
 	t := depart
 	var contention arch.Cycles
 	step := func(dir uint8, nx, ny int) {
-		q := m.link(linkKey{x, y, dir})
+		q := m.links[(y*m.width+x)*4+int(dir)]
 		wait := q.Delay(t, ser)
 		contention += wait
 		t += wait + m.cfg.HopLatency
@@ -195,24 +196,8 @@ func (m *Mesh) Delay(src, dst arch.TileID, bytes int, depart arch.Cycles) arch.C
 	return latency + contention
 }
 
-func (m *Mesh) link(k linkKey) *queuemodel.Queue {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	q := m.links[k]
-	if q == nil {
-		q = queuemodel.New(m.prog)
-		m.links[k] = q
-	}
-	return q
-}
-
 // ContentionStats aggregates queueing statistics over all links.
 func (m *Mesh) ContentionStats() (packets uint64, totalDelay arch.Cycles) {
-	if m.links == nil {
-		return 0, 0
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, q := range m.links {
 		p, d, _ := q.Stats()
 		packets += p

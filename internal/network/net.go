@@ -77,20 +77,49 @@ func (q *pktQueue) put(p Packet) {
 	if q.closed {
 		return
 	}
-	if q.count == len(q.buf) {
-		newCap := len(q.buf) * 2
-		if newCap < 16 {
-			newCap = 16
-		}
-		nb := make([]Packet, newCap)
-		for i := 0; i < q.count; i++ {
-			nb[i] = *q.at(i)
-		}
-		q.buf, q.head = nb, 0
-	}
+	q.grow(1)
 	*q.at(q.count) = p
 	q.count++
 	q.cond.Signal()
+}
+
+// grow ensures room for n more packets. Called with mu held.
+func (q *pktQueue) grow(n int) {
+	if q.count+n <= len(q.buf) {
+		return
+	}
+	newCap := len(q.buf) * 2
+	if newCap < 16 {
+		newCap = 16
+	}
+	for newCap < q.count+n {
+		newCap *= 2
+	}
+	nb := make([]Packet, newCap)
+	for i := 0; i < q.count; i++ {
+		nb[i] = *q.at(i)
+	}
+	q.buf, q.head = nb, 0
+}
+
+// putBatch appends ps in order under one lock acquisition with one
+// receiver wakeup, preserving arrival order.
+func (q *pktQueue) putBatch(ps []Packet) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.grow(len(ps))
+	for i := range ps {
+		*q.at(q.count) = ps[i]
+		q.count++
+	}
+	if len(ps) > 1 {
+		q.cond.Broadcast()
+	} else {
+		q.cond.Signal()
+	}
 }
 
 // pop removes and returns the head packet. Called with mu held, count > 0.
@@ -111,6 +140,21 @@ func (q *pktQueue) tryGet() (Packet, bool) {
 		return Packet{}, false
 	}
 	return q.pop(), true
+}
+
+// tryGetBurst pops up to len(out) queued packets without blocking under
+// one lock acquisition, returning how many it moved.
+func (q *pktQueue) tryGetBurst(out []Packet) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	k := q.count
+	if k > len(out) {
+		k = len(out)
+	}
+	for i := 0; i < k; i++ {
+		out[i] = q.pop()
+	}
+	return k
 }
 
 func (q *pktQueue) get() (Packet, bool) {
@@ -161,8 +205,12 @@ func (q *pktQueue) close() {
 
 // Net is one node's interface to the on-chip networks: a target tile or a
 // simulator control thread (MCP/LCP, which only ever uses ClassSystem).
-// A demultiplexing goroutine moves transport frames into per-class receive
-// queues; Start must be called once before any Recv.
+// Transport frames reach per-class receive queues either through a
+// demultiplexing goroutine (the default) or, when a primary class is
+// declared, inline in the primary consumer's Recv — the tile's memory
+// server then pumps the endpoint itself, and the dominant traffic class
+// pays no extra goroutine hand-off or queue hop at all. Start must be
+// called once before any Recv.
 type Net struct {
 	node     arch.TileID // may be negative for control endpoints
 	tr       transport.Transport
@@ -170,6 +218,7 @@ type Net struct {
 	models   *Models
 	progress *clock.ProgressWindow
 	queues   [NumClasses]*pktQueue
+	primary  Class // NumClasses when unset
 	stats    Stats
 	wg       sync.WaitGroup
 }
@@ -177,7 +226,7 @@ type Net struct {
 // New creates the network interface for a node. The endpoint must already
 // be registered on the transport. progress may be nil for control nodes.
 func New(node arch.TileID, tr transport.Transport, ep transport.Endpoint, models *Models, progress *clock.ProgressWindow) *Net {
-	n := &Net{node: node, tr: tr, ep: ep, models: models, progress: progress}
+	n := &Net{node: node, tr: tr, ep: ep, models: models, progress: progress, primary: NumClasses}
 	for c := range n.queues {
 		n.queues[c] = newPktQueue()
 	}
@@ -187,14 +236,31 @@ func New(node arch.TileID, tr transport.Transport, ep transport.Endpoint, models
 // Node returns the node ID this Net serves.
 func (n *Net) Node() arch.TileID { return n.node }
 
-// Start launches the demultiplexer.
+// SetPrimary declares class's consumer the endpoint pump: its Recv reads
+// transport frames directly, returning packets of its own class and
+// routing others to their queues, so no demux goroutine runs. The primary
+// consumer must keep receiving for the other classes to make progress —
+// the tile memory server's Serve loop does exactly that. Must be called
+// before Start.
+func (n *Net) SetPrimary(c Class) { n.primary = c }
+
+// Start launches the demultiplexer (unless a primary consumer pumps the
+// endpoint inline).
 func (n *Net) Start() {
+	if n.primary < NumClasses {
+		return
+	}
 	n.wg.Add(1)
 	go n.demux()
 }
 
+// demuxBurst bounds how many already-delivered frames demux moves in one
+// sweep before releasing them to the class queues.
+const demuxBurst = 32
+
 func (n *Net) demux() {
 	defer n.wg.Done()
+	var burst [NumClasses][]Packet
 	for {
 		frame, err := n.ep.Recv()
 		if err != nil {
@@ -203,38 +269,108 @@ func (n *Net) demux() {
 			}
 			return
 		}
-		pkt, err := Decode(frame)
-		if err != nil {
-			// A malformed frame indicates a simulator bug; dropping it
-			// is the only safe action mid-simulation.
-			continue
+		// Sweep whatever else the transport already delivered and hand the
+		// packets to each class queue as one batch: a protocol burst costs
+		// one queue lock and one receiver wakeup instead of one per packet.
+		for {
+			pkt, err := Decode(frame)
+			if err == nil {
+				n.recvPacket(&pkt)
+				burst[pkt.Class] = append(burst[pkt.Class], pkt)
+			}
+			// Malformed frames indicate a simulator bug; dropping them is
+			// the only safe action mid-simulation.
+			if len(burst[ClassMemory])+len(burst[ClassSystem])+len(burst[ClassApp]) >= demuxBurst {
+				break
+			}
+			var ok bool
+			if frame, ok, err = n.ep.TryRecv(); err != nil || !ok {
+				break
+			}
 		}
-		if n.progress != nil && pkt.Time >= 0 {
-			n.progress.Observe(pkt.Time)
+		for c := range burst {
+			if len(burst[c]) > 0 {
+				n.queues[c].putBatch(burst[c])
+				clear(burst[c])
+				burst[c] = burst[c][:0]
+			}
 		}
-		n.stats.PacketsRecv[pkt.Class].Add(1)
-		n.queues[pkt.Class].put(pkt)
 	}
 }
 
 // Send models and transmits a packet, returning its simulated arrival time
 // at dst. now is the sender's current clock.
 func (n *Net) Send(class Class, typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) (arch.Cycles, error) {
+	return n.SendFrom(nil, class, typ, dst, seq, payload, now)
+}
+
+// SendFrom is Send with the wire frame carved from the caller-owned arena
+// (nil falls back to an individual allocation). High-rate senders — the
+// memory system's core context — use it to keep the per-message frame off
+// the garbage collector's plate.
+func (n *Net) SendFrom(ar *FrameArena, class Class, typ uint8, dst arch.TileID, seq uint64, payload []byte, now arch.Cycles) (arch.Cycles, error) {
 	p := Packet{Class: class, Type: typ, Src: n.node, Dst: dst, Seq: seq, Payload: payload}
 	delay := n.models.Delay(class, n.node, dst, p.Bytes(), now)
 	p.Time = now + delay
 	n.stats.PacketsSent[class].Add(1)
 	n.stats.BytesSent[class].Add(uint64(p.Bytes()))
 	n.stats.TotalDelay[class].Add(int64(delay))
-	if err := n.tr.Send(transport.EndpointID(dst), p.Encode()); err != nil {
+	var frame []byte
+	if ar != nil {
+		frame = p.encodeInto(ar.alloc(p.Bytes()))
+	} else {
+		frame = p.Encode()
+	}
+	if err := n.tr.Send(transport.EndpointID(dst), frame); err != nil {
 		return 0, err
 	}
 	return p.Time, nil
 }
 
+// recvPacket accounts one decoded inbound packet.
+func (n *Net) recvPacket(pkt *Packet) {
+	if n.progress != nil && pkt.Time >= 0 {
+		n.progress.Observe(pkt.Time)
+	}
+	n.stats.PacketsRecv[pkt.Class].Add(1)
+}
+
+// pump reads transport frames from the primary consumer's context,
+// returning the first primary-class packet and routing every other class
+// to its queue. ok is false once the endpoint closes, after which all
+// queues are closed so secondary consumers unblock too.
+func (n *Net) pump() (Packet, bool) {
+	if p, ok := n.queues[n.primary].tryGet(); ok {
+		return p, true
+	}
+	for {
+		frame, err := n.ep.Recv()
+		if err != nil {
+			for _, q := range n.queues {
+				q.close()
+			}
+			return Packet{}, false
+		}
+		pkt, err := Decode(frame)
+		if err != nil {
+			// A malformed frame indicates a simulator bug; dropping it is
+			// the only safe action mid-simulation.
+			continue
+		}
+		n.recvPacket(&pkt)
+		if pkt.Class == n.primary {
+			return pkt, true
+		}
+		n.queues[pkt.Class].put(pkt)
+	}
+}
+
 // Recv blocks for the next packet of a class, in arrival order.
 // ok is false after Close.
 func (n *Net) Recv(class Class) (Packet, bool) {
+	if class == n.primary {
+		return n.pump()
+	}
 	return n.queues[class].get()
 }
 
@@ -245,10 +381,58 @@ func (n *Net) TryRecv(class Class) (Packet, bool) {
 	return n.queues[class].tryGet()
 }
 
+// TryRecvBurst moves up to len(out) queued packets of a class into out
+// without blocking, under one queue lock, returning the count. Server
+// loops use it to drain inbound bursts at one lock per burst instead of
+// one per packet. The primary consumer additionally sweeps frames the
+// transport has already delivered.
+func (n *Net) TryRecvBurst(class Class, out []Packet) int {
+	k := n.queues[class].tryGetBurst(out)
+	if class != n.primary {
+		return k
+	}
+	for k < len(out) {
+		frame, ok, err := n.ep.TryRecv()
+		if err != nil || !ok {
+			break
+		}
+		pkt, derr := Decode(frame)
+		if derr != nil {
+			continue
+		}
+		n.recvPacket(&pkt)
+		if pkt.Class == class {
+			out[k] = pkt
+			k++
+		} else {
+			n.queues[pkt.Class].put(pkt)
+		}
+	}
+	return k
+}
+
 // RecvMatch blocks for the next packet of a class satisfying pred,
 // buffering non-matching packets for later Recv/RecvMatch calls.
 func (n *Net) RecvMatch(class Class, pred func(*Packet) bool) (Packet, bool) {
 	return n.queues[class].getMatch(pred)
+}
+
+// Delay returns the modeled network latency of a packet with the given
+// payload size departing for dst now, without sending anything. The
+// memory system's local-home shortcut uses it to charge exactly the
+// timing a loopback message would have had.
+func (n *Net) Delay(class Class, dst arch.TileID, payloadBytes int, depart arch.Cycles) arch.Cycles {
+	return n.models.Delay(class, n.node, dst, headerLen+payloadBytes, depart)
+}
+
+// Observe feeds a timestamp into the process's progress window, exactly
+// as receiving a packet with that timestamp would. Loopback shortcuts
+// call it so the global-progress approximation sees the same sample
+// stream whether or not the message physically traversed the transport.
+func (n *Net) Observe(t arch.Cycles) {
+	if n.progress != nil && t >= 0 {
+		n.progress.Observe(t)
+	}
 }
 
 // Stats exposes the traffic counters.

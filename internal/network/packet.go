@@ -78,7 +78,11 @@ func (p *Packet) Bytes() int { return headerLen + len(p.Payload) }
 
 // Encode serializes the packet for the transport layer.
 func (p *Packet) Encode() []byte {
-	buf := make([]byte, headerLen+len(p.Payload))
+	return p.encodeInto(make([]byte, headerLen+len(p.Payload)))
+}
+
+// encodeInto serializes into buf, which must be exactly Bytes() long.
+func (p *Packet) encodeInto(buf []byte) []byte {
 	buf[0] = byte(p.Class)
 	buf[1] = p.Type
 	binary.LittleEndian.PutUint32(buf[2:6], uint32(int32(p.Src)))
@@ -88,6 +92,39 @@ func (p *Packet) Encode() []byte {
 	binary.LittleEndian.PutUint32(buf[26:30], uint32(len(p.Payload)))
 	copy(buf[headerLen:], p.Payload)
 	return buf
+}
+
+// FrameArena carves wire frames out of chunked buffers, so a sender's
+// steady message stream costs one allocation per chunk instead of one per
+// frame. Receivers own delivered frames indefinitely (payloads alias
+// them), which individual allocation would service with one garbage
+// object per message; the arena trades that for chunks that stay alive
+// while any frame cut from them is still referenced — protocol messages
+// are consumed promptly, so the pinned set stays small. A FrameArena is
+// owned by a single sending context and is not safe for concurrent use.
+type FrameArena struct {
+	buf []byte
+}
+
+// frameArenaChunk is the arena chunk size — big enough to amortize
+// allocation over ~100 typical frames, small enough that the unused tail
+// of each sender's current chunk stays cheap in short simulations (one
+// arena exists per sending context per tile). Frames bigger than a
+// quarter chunk are allocated individually so one giant payload cannot
+// waste most of a chunk.
+const frameArenaChunk = 8 << 10
+
+// alloc returns a frame of n bytes.
+func (a *FrameArena) alloc(n int) []byte {
+	if n > len(a.buf) {
+		if n > frameArenaChunk/4 {
+			return make([]byte, n)
+		}
+		a.buf = make([]byte, frameArenaChunk)
+	}
+	f := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return f
 }
 
 // Decode parses a packet from a transport frame. The payload aliases data;

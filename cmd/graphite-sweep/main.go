@@ -19,6 +19,12 @@
 // a matching config digest, so an interrupted sweep continues where it
 // stopped.
 //
+// Both modes take -cache DIR (README, "Record cache"): a
+// content-addressed record store consulted before any run is simulated
+// or dispatched. Warm re-runs of a sweep simulate nothing and emit
+// byte-identical records up to wall_sec/cached. -cache-max-bytes,
+// -cache-ttl, and -no-cache tune or disable it.
+//
 // Experiment mode regenerates the tables and figures of the paper's
 // evaluation section (§4). Each -exp selects one experiment from the
 // registry; -preset scales problem sizes:
@@ -37,9 +43,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core/launch"
 	"repro/internal/experiments"
+	"repro/internal/recordcache"
 	"repro/internal/scenario"
 	"repro/internal/scenario/dispatch"
 )
@@ -58,6 +66,10 @@ func main() {
 		connect      = flag.String("connect", "", "coordinator address for -worker (host:port)")
 		resume       = flag.String("resume", "", "JSONL of a previous partial run; matching error-free records are not re-executed")
 		workersExp   = flag.Int("workers-expected", 0, "coordinator waits for this many worker processes before dispatching")
+		cacheDir     = flag.String("cache", "", "record cache directory: serve repeated runs from cache instead of re-simulating")
+		cacheBytes   = flag.Int64("cache-max-bytes", 256<<20, "record cache in-memory byte budget (disk tier is unbounded)")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "record cache entry time-to-live, e.g. 72h (0 = never expire)")
+		noCache      = flag.Bool("no-cache", false, "disable the record cache even when -cache is set")
 		exp          = flag.String("exp", "all", "experiment: "+experiments.FlagUsage())
 		preset       = flag.String("preset", "quick", "size preset: quick|standard|full")
 		runs         = flag.Int("runs", 0, "repetitions for table3 (default: preset-dependent)")
@@ -89,30 +101,53 @@ func main() {
 			fmt.Fprintln(os.Stderr, "graphite-sweep: -worker requires -connect host:port")
 			os.Exit(2)
 		}
+		if *cacheDir != "" {
+			// The cache hangs off the front doors (runner, coordinator);
+			// workers only ever see specs the cache already missed.
+			fmt.Fprintln(os.Stderr, "graphite-sweep: -cache applies to -scenario/-serve, not -worker (the coordinator owns the cache)")
+			os.Exit(2)
+		}
 		if err := dispatch.Work(*connect, dispatch.WorkerOptions{Parallel: *parallel, Progress: os.Stderr}); err != nil {
 			fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
 			os.Exit(1)
 		}
 		return
 	}
+	cache, err := openCache(*cacheDir, *cacheBytes, *cacheTTL, *noCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
+		os.Exit(1)
+	}
+	// Close explicitly (not deferred): os.Exit skips defers and the
+	// close releases the cache directory's writer lock.
+	closeCache := func() {
+		if cache != nil {
+			cache.Close()
+		}
+	}
 	if *serve != "" {
 		if *scenarioPath == "" {
 			fmt.Fprintln(os.Stderr, "graphite-sweep: -serve requires -scenario")
 			os.Exit(2)
 		}
-		if err := serveScenario(*scenarioPath, *serve, *out, *resume, *workersExp); err != nil {
+		err := serveScenario(*scenarioPath, *serve, *out, *resume, *workersExp, cache)
+		closeCache()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *scenarioPath != "" {
-		if err := runScenario(*scenarioPath, *parallel, *out); err != nil {
+		err := runScenario(*scenarioPath, *parallel, *out, cache)
+		closeCache()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
 			os.Exit(1)
 		}
 		return
 	}
+	closeCache()
 
 	pr, err := experiments.ParsePreset(*preset)
 	if err != nil {
@@ -155,8 +190,41 @@ func main() {
 	runOne(*exp)
 }
 
+// openCache builds the record cache from the -cache* flags; nil means
+// caching is off (no -cache dir, or -no-cache).
+func openCache(dir string, maxBytes int64, ttl time.Duration, disabled bool) (*recordcache.Cache, error) {
+	if dir == "" || disabled {
+		return nil, nil
+	}
+	c, err := recordcache.Open(recordcache.Options{Dir: dir, MaxBytes: maxBytes, TTL: ttl})
+	if err != nil {
+		return nil, err
+	}
+	if c.Stats().ReadOnly {
+		fmt.Fprintf(os.Stderr, "cache %s: writer lock held by another sweep, serving read-only\n", dir)
+	}
+	return c, nil
+}
+
+// cacheSummary emits the hit/miss line CI and operators key off: the
+// warm-sweep contract is simulated=0 and hit_rate=100.0%.
+func cacheSummary(cache *recordcache.Cache, records []scenario.Record) {
+	if cache == nil {
+		return
+	}
+	st := cache.Stats()
+	cached := 0
+	for i := range records {
+		if records[i].Cached {
+			cached++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d hit_rate=%.1f%% evictions=%d bytes=%d entries=%d simulated=%d cached=%d\n",
+		st.Hits, st.Misses, st.HitRate(), st.Evictions, st.DiskLive, st.DiskEntries, len(records)-cached, cached)
+}
+
 // runScenario loads, expands, executes, and reports one scenario file.
-func runScenario(path string, parallel int, out string) error {
+func runScenario(path string, parallel int, out string, cache *recordcache.Cache) error {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return err
@@ -179,10 +247,17 @@ func runScenario(path string, parallel int, out string) error {
 		w = f
 	}
 
-	records, runErr := scenario.RunExpanded(sc, specs, scenario.Options{Parallel: parallel, Progress: os.Stderr})
+	opt := scenario.Options{Parallel: parallel, Progress: os.Stderr}
+	if cache != nil {
+		// Assigned conditionally: a nil *recordcache.Cache in the
+		// interface field would dodge the runner's nil check.
+		opt.Cache = cache
+	}
+	records, runErr := scenario.RunExpanded(sc, specs, opt)
 	if err := scenario.WriteJSONL(w, records); err != nil {
 		return err
 	}
+	cacheSummary(cache, records)
 	if out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(records), out)
 	}
@@ -191,7 +266,7 @@ func runScenario(path string, parallel int, out string) error {
 
 // serveScenario runs the distributed coordinator: expand the scenario,
 // adopt any resumable records, and serve the rest to workers.
-func serveScenario(path, addr, out, resumePath string, workersExpected int) error {
+func serveScenario(path, addr, out, resumePath string, workersExpected int, cache *recordcache.Cache) error {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return err
@@ -211,14 +286,18 @@ func serveScenario(path, addr, out, resumePath string, workersExpected int) erro
 		}
 	}
 
-	c, err := dispatch.NewCoordinator(specs, dispatch.Options{
+	opt := dispatch.Options{
 		Addr:            addr,
 		WorkersExpected: workersExpected,
 		Serial:          scenario.NeedsSerial(sc, specs),
 		Verify:          sc.Verify,
 		Progress:        os.Stderr,
 		Resume:          resume,
-	})
+	}
+	if cache != nil {
+		opt.Cache = cache
+	}
+	c, err := dispatch.NewCoordinator(specs, opt)
 	if err != nil {
 		return err
 	}
@@ -236,13 +315,14 @@ func serveScenario(path, addr, out, resumePath string, workersExpected int) erro
 		w = f
 	}
 	c.SetOutput(w)
-	fmt.Fprintf(os.Stderr, "scenario %s: %d runs (%d resumed), serving on %s\n",
-		sc.Name, len(specs), c.Reused(), c.Addr())
+	fmt.Fprintf(os.Stderr, "scenario %s: %d runs (%d resumed, %d cached), serving on %s\n",
+		sc.Name, len(specs), c.Reused(), c.Cached(), c.Addr())
 
 	records, runErr := c.Wait()
+	cacheSummary(cache, records)
 	if out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d records to %s (%d executed, %d resumed)\n",
-			len(records), out, c.Executed(), c.Reused())
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s (%d executed, %d resumed, %d cached)\n",
+			len(records), out, c.Executed(), c.Reused(), c.Cached())
 	}
 	return runErr
 }

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package recordcache
+
+// pidAlive is conservatively true on platforms without a cheap liveness
+// probe: a lock that might be held is treated as held, and the opener
+// degrades to read-only instead of corrupting a live writer's segments.
+func pidAlive(pid int) bool {
+	return pid > 0
+}

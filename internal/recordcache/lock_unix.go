@@ -1,0 +1,23 @@
+//go:build unix
+
+package recordcache
+
+import (
+	"os"
+	"syscall"
+)
+
+// pidAlive reports whether pid names a running process. Signal 0 probes
+// without delivering; EPERM means the process exists but is not ours —
+// still alive, still holding the lock.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || err == syscall.EPERM
+}

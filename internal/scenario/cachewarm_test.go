@@ -1,0 +1,128 @@
+// The cold/warm cache equivalence test lives in an external test package
+// because it exercises the real store: recordcache imports scenario, so
+// an in-package test importing recordcache would be an import cycle.
+package scenario_test
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+
+	"repro/internal/recordcache"
+	"repro/internal/scenario"
+)
+
+// replayFields strips the fields a cached replay is allowed to differ
+// in — wall clocks (host time, never deterministic) and the cached flag
+// itself. This is the same normalization the distributed-sweep CI diff
+// applies, now also the cache contract.
+var replayFields = regexp.MustCompile(`,"(wall_sec":[0-9eE.+-]+|proc_wall_sec":\[[^]]*\]|cached":true)`)
+
+func normalize(t *testing.T, records []scenario.Record) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := scenario.WriteJSONL(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	return replayFields.ReplaceAllString(buf.String(), "")
+}
+
+// TestColdWarmEquivalence is the determinism-backed memoization
+// contract on the repo's reference sweep: running
+// examples/scenarios/line-size-sweep.json cold (populating a cache) and
+// then warm (same cache directory, fresh instance — the disk tier must
+// carry it) produces byte-identical JSONL up to wall_sec/cached, with
+// the warm pass simulating nothing.
+func TestColdWarmEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full line-size sweep twice")
+	}
+	s, err := scenario.Load("../../examples/scenarios/line-size-sweep.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	runWith := func() ([]scenario.Record, recordcache.Stats) {
+		cache, err := recordcache.Open(recordcache.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cache.Close()
+		records, err := scenario.Run(s, scenario.Options{Parallel: 2, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return records, cache.Stats()
+	}
+
+	cold, coldStats := runWith()
+	if coldStats.Hits != 0 || coldStats.Misses != int64(len(cold)) {
+		t.Fatalf("cold pass hit a fresh cache: %+v", coldStats)
+	}
+	for i := range cold {
+		if cold[i].Cached {
+			t.Fatalf("cold run %d flagged cached", i)
+		}
+	}
+
+	warm, warmStats := runWith()
+	if warmStats.Misses != 0 || warmStats.Hits != int64(len(warm)) {
+		t.Fatalf("warm pass missed: %+v (want 100%% hit rate)", warmStats)
+	}
+	for i := range warm {
+		if !warm[i].Cached {
+			t.Fatalf("warm run %d was simulated instead of served from cache", i)
+		}
+		if warm[i].WallSec != 0 {
+			t.Fatalf("warm run %d carries wall time %v", i, warm[i].WallSec)
+		}
+		if warm[i].ChecksumOK == nil || !*warm[i].ChecksumOK {
+			t.Fatalf("warm run %d lost its verification verdict", i)
+		}
+	}
+
+	if got, want := normalize(t, warm), normalize(t, cold); got != want {
+		t.Fatalf("warm output differs from cold output:\n--- cold ---\n%s--- warm ---\n%s", want, got)
+	}
+}
+
+// TestCacheVerifyOffStripsChecksum: a record cached by a verified sweep
+// must not leak checksum_ok into an unverified re-run of the same specs
+// (the output would differ from a fresh unverified run).
+func TestCacheVerifyOffStripsChecksum(t *testing.T) {
+	verified := &scenario.Scenario{
+		Name:     "cache-verify",
+		Preset:   "small-cache",
+		Workload: "radix",
+		Threads:  1,
+		Scale:    6,
+		Seed:     3,
+		Verify:   true,
+		Base:     map[string]any{"Tiles": 4},
+		Grids:    []scenario.Grid{{Axes: []scenario.Axis{{Field: "line_size", Values: []any{32, 64}}}}},
+	}
+	cache, err := recordcache.Open(recordcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	if _, err := scenario.Run(verified, scenario.Options{Parallel: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+
+	unverified := *verified
+	unverified.Verify = false
+	records, err := scenario.Run(&unverified, scenario.Options{Parallel: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if !records[i].Cached {
+			t.Fatalf("run %d missed a warm cache", i)
+		}
+		if records[i].ChecksumOK != nil {
+			t.Fatalf("run %d leaked checksum_ok into an unverified sweep", i)
+		}
+	}
+}

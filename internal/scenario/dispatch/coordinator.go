@@ -39,6 +39,12 @@ type Options struct {
 	// and config digest match the current expansion and it carries no
 	// error.
 	Resume []scenario.Record
+	// Cache, when non-nil, is consulted per spec before enqueueing it to
+	// workers (hits are adopted like Resume records, keyed by content
+	// digest instead of run index) and receives every verified record the
+	// coordinator merges — executed, resumed, or synthesized nothing: an
+	// abandonment error never enters the cache.
+	Cache scenario.RecordCache
 }
 
 // Coordinator serves one sweep to remote workers.
@@ -56,6 +62,7 @@ type Coordinator struct {
 	records      []scenario.Record
 	remaining    int
 	reused       int
+	cached       int
 	executed     int
 	hellos       int
 	warnedSerial bool
@@ -123,6 +130,31 @@ func NewCoordinator(specs []scenario.RunSpec, opt Options) (*Coordinator, error)
 		c.remaining--
 		c.reused++
 	}
+	// Consult the record cache for everything -resume didn't cover. The
+	// cache is keyed by content digest (scenario.CacheKey) rather than
+	// run index, so it serves edited, reordered, and overlapping sweeps
+	// where -resume only serves an identical re-expansion. Hits adopt
+	// the same field discipline as mergeRecord (CacheLookup re-stamps
+	// identity fields; verify/tile_stats mismatches handled below and in
+	// CacheLookup).
+	if opt.Cache != nil {
+		for i := range specs {
+			if c.done[i] {
+				continue
+			}
+			rec, ok := scenario.CacheLookup(opt.Cache, &specs[i], c.digests[i])
+			if !ok {
+				continue
+			}
+			if !opt.Verify {
+				rec.ChecksumOK = nil
+			}
+			c.records[i] = rec
+			c.done[i] = true
+			c.remaining--
+			c.cached++
+		}
+	}
 	// Fill ChecksumOK for adopted records that predate -verify, so
 	// resumed output is indistinguishable from freshly executed output.
 	// Bounded-parallel via VerifyParallel — the native runs are the same
@@ -142,6 +174,16 @@ func NewCoordinator(specs []scenario.RunSpec, opt Options) (*Coordinator, error)
 			scenario.VerifyParallel(tmp, 0)
 			for j, i := range need {
 				c.records[i].ChecksumOK = tmp[j].ChecksumOK
+			}
+		}
+	}
+	// Feed resume-adopted records into the cache (post-backfill, so they
+	// enter with their verification verdict): -resume becomes one more
+	// way to warm the cache, layered under it rather than beside it.
+	if opt.Cache != nil {
+		for i := range specs {
+			if c.done[i] && scenario.Cacheable(&c.records[i]) {
+				opt.Cache.Put(c.records[i])
 			}
 		}
 	}
@@ -179,6 +221,10 @@ func (c *Coordinator) SetOutput(w io.Writer) {
 
 // Reused reports how many records were adopted from Options.Resume.
 func (c *Coordinator) Reused() int { return c.reused }
+
+// Cached reports how many records were served by Options.Cache instead
+// of being dispatched to workers.
+func (c *Coordinator) Cached() int { return c.cached }
 
 // Executed reports how many records came back from workers so far.
 func (c *Coordinator) Executed() int {
@@ -356,6 +402,14 @@ func (c *Coordinator) requeue(i int) {
 // abandonment errors.
 func (c *Coordinator) complete(i int, remote *scenario.Record, executed bool) {
 	rec := c.mergeRecord(i, remote)
+	// Cache only what a worker genuinely produced and verified: requeue
+	// paths never reach here (a killed worker's partial work is simply
+	// re-dispatched) and synthesized abandonment records fail both the
+	// executed flag and Cacheable's error check, so neither can poison
+	// the cache.
+	if executed && c.opt.Cache != nil && scenario.Cacheable(&rec) {
+		c.opt.Cache.Put(rec)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.done[i] {

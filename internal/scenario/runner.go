@@ -63,6 +63,11 @@ type Record struct {
 	MissByName map[string]uint64 `json:"miss_by_name,omitempty"`
 	// Tiles holds the per-tile records when the scenario sets TileStats.
 	Tiles []stats.Tile `json:"tiles,omitempty"`
+	// Cached marks a record served from a RecordCache instead of being
+	// simulated in this invocation (WallSec is zeroed: no host time was
+	// spent). Result fields are byte-identical to a fresh run's — that
+	// is the determinism contract the cache is built on.
+	Cached bool `json:"cached,omitempty"`
 	// WallSec is host wall-clock time — never deterministic.
 	WallSec float64 `json:"wall_sec"`
 	// ProcWallSec holds each OS process's wall-clock serving time (from
@@ -80,6 +85,10 @@ type Options struct {
 	Parallel int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Cache, when non-nil, is consulted per RunSpec before simulating
+	// (hits are adopted via CacheLookup) and — in RunExpanded, after
+	// verification — receives every cacheable fresh record.
+	Cache RecordCache
 }
 
 // Run expands the scenario and executes every run on the worker pool.
@@ -101,6 +110,22 @@ func RunExpanded(s *Scenario, specs []RunSpec, opt Options) ([]Record, error) {
 	records, err := RunSpecs(specs, NeedsSerial(s, specs), opt)
 	if s.Verify {
 		VerifyParallel(records, opt.Parallel)
+	} else {
+		// A cache hit may carry checksum_ok from a verified past sweep;
+		// this sweep didn't ask, so drop it or the output would differ
+		// from a fresh unverified run (same rule as dispatch's merge).
+		for i := range records {
+			records[i].ChecksumOK = nil
+		}
+	}
+	if opt.Cache != nil {
+		// Put after verification so cached records carry their verdict;
+		// a failed verification keeps the record out entirely.
+		for i := range records {
+			if Cacheable(&records[i]) {
+				opt.Cache.Put(records[i])
+			}
+		}
 	}
 	return records, err
 }
@@ -150,12 +175,19 @@ func RunSpecs(specs []RunSpec, serial bool, opt Options) ([]Record, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				records[i] = Execute(&specs[i])
+				if rec, ok := CacheLookup(opt.Cache, &specs[i], ""); ok {
+					records[i] = rec
+				} else {
+					records[i] = Execute(&specs[i])
+				}
 				if opt.Progress != nil {
 					progressMu.Lock()
 					done++
 					r := &records[i]
 					status := fmt.Sprintf("%d cycles", r.SimCycles)
+					if r.Cached {
+						status += ", cached"
+					}
 					if r.Error != "" {
 						status = "ERROR: " + r.Error
 					}

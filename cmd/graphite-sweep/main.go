@@ -19,6 +19,15 @@
 // a matching config digest, so an interrupted sweep continues where it
 // stopped.
 //
+// Service mode submits the scenario to a running graphited daemon
+// (README, "Simulation service"; docs/API.md) instead of executing it
+// locally, then streams the merged records back — resuming the stream
+// if the connection drops — so the written JSONL is byte-identical to
+// what local execution would produce, up to the wall-clock fields and
+// the cached flag:
+//
+//	graphite-sweep -scenario sweep.json -submit http://127.0.0.1:9640 -out r.jsonl
+//
 // Both modes take -cache DIR (README, "Record cache"): a
 // content-addressed record store consulted before any run is simulated
 // or dispatched. Warm re-runs of a sweep simulate nothing and emit
@@ -37,6 +46,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,6 +60,7 @@ import (
 	"repro/internal/recordcache"
 	"repro/internal/scenario"
 	"repro/internal/scenario/dispatch"
+	"repro/internal/service/client"
 )
 
 func main() {
@@ -64,6 +75,7 @@ func main() {
 		serve        = flag.String("serve", "", "coordinator mode: serve the -scenario runs to workers on this address")
 		worker       = flag.Bool("worker", false, "worker mode: pull runs from a coordinator (-connect)")
 		connect      = flag.String("connect", "", "coordinator address for -worker (host:port)")
+		submit       = flag.String("submit", "", "submit the -scenario to a graphited daemon at this base URL and stream the records back")
 		resume       = flag.String("resume", "", "JSONL of a previous partial run; matching error-free records are not re-executed")
 		workersExp   = flag.Int("workers-expected", 0, "coordinator waits for this many worker processes before dispatching")
 		cacheDir     = flag.String("cache", "", "record cache directory: serve repeated runs from cache instead of re-simulating")
@@ -95,6 +107,26 @@ func main() {
 	if !*worker && *connect != "" {
 		fmt.Fprintln(os.Stderr, "graphite-sweep: -connect requires -worker (did you forget -worker?)")
 		os.Exit(2)
+	}
+	if *submit != "" {
+		// The daemon owns execution: every local-execution flag is
+		// meaningless (and -cache would grab the daemon's lock).
+		switch {
+		case *scenarioPath == "":
+			fmt.Fprintln(os.Stderr, "graphite-sweep: -submit requires -scenario")
+			os.Exit(2)
+		case *serve != "" || *worker:
+			fmt.Fprintln(os.Stderr, "graphite-sweep: -submit is exclusive with -serve/-worker")
+			os.Exit(2)
+		case *cacheDir != "":
+			fmt.Fprintln(os.Stderr, "graphite-sweep: -cache applies to local execution; the daemon owns the cache in -submit mode")
+			os.Exit(2)
+		}
+		if err := submitScenario(*scenarioPath, *submit, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "graphite-sweep:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *worker {
 		if *connect == "" {
@@ -221,6 +253,73 @@ func cacheSummary(cache *recordcache.Cache, records []scenario.Record) {
 	}
 	fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d hit_rate=%.1f%% evictions=%d bytes=%d entries=%d simulated=%d cached=%d\n",
 		st.Hits, st.Misses, st.HitRate(), st.Evictions, st.DiskLive, st.DiskEntries, len(records)-cached, cached)
+}
+
+// submitScenario runs the scenario through a graphited daemon: POST the
+// file, stream the merged JSONL to out (byte-verbatim — the service's
+// records are already in final form), resume the stream on connection
+// drops, and mirror the job's terminal state in the exit status.
+func submitScenario(path, baseURL, out string) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cl, err := client.New(baseURL)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scenario %s: %d runs, submitted as job %s to %s\n",
+		st.Scenario, st.RunsTotal, st.ID, baseURL)
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	// Stream with resume: the line index is a stable cursor (records
+	// arrive in run-index order), so after a drop we continue from the
+	// count already written and the output stays byte-identical.
+	written := 0
+	for attempt := 0; ; {
+		n, err := cl.StreamRecords(ctx, st.ID, written, w)
+		written += n
+		if err == nil {
+			break
+		}
+		attempt++
+		if attempt >= 5 {
+			return fmt.Errorf("record stream failed %d times (last: %w); resume with: GET /v1/jobs/%s/records?from=%d", attempt, err, st.ID, written)
+		}
+		fmt.Fprintf(os.Stderr, "record stream interrupted after %d records (%v), resuming\n", written, err)
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	// The stream ends when the job settles; fetch the terminal state for
+	// the summary and the exit status.
+	final, err := cl.WaitTerminal(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "job %s %s: %d records (%d executed, %d cached)\n",
+		final.ID, final.State, written, final.RunsExecuted, final.RunsCached)
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", written, out)
+	}
+	if final.State != "done" {
+		return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
+	}
+	return nil
 }
 
 // runScenario loads, expands, executes, and reports one scenario file.

@@ -9,6 +9,7 @@
 // the key; they are re-stamped from the consuming spec on every hit, so
 // one cached record can serve the same design point wherever it appears
 // in any sweep.
+
 package scenario
 
 import (

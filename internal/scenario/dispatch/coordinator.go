@@ -56,8 +56,9 @@ type Coordinator struct {
 
 	mu           sync.Mutex
 	cond         *sync.Cond
-	queue        []int // pending spec indices, dispatched front to back
-	attempts     []int // failed dispatch attempts per spec
+	conns        map[net.Conn]struct{} // live worker connections (for Cancel)
+	queue        []int                 // pending spec indices, dispatched front to back
+	attempts     []int                 // failed dispatch attempts per spec
 	done         []bool
 	records      []scenario.Record
 	remaining    int
@@ -93,6 +94,7 @@ func NewCoordinator(specs []scenario.RunSpec, opt Options) (*Coordinator, error)
 	c := &Coordinator{
 		opt:       opt,
 		ln:        ln,
+		conns:     make(map[net.Conn]struct{}),
 		specs:     specs,
 		digests:   make([]string, len(specs)),
 		attempts:  make([]int, len(specs)),
@@ -233,6 +235,50 @@ func (c *Coordinator) Executed() int {
 	return c.executed
 }
 
+// Progress reports how many of the sweep's runs have a record so far and
+// the total. done == total means Wait will not block on further workers.
+func (c *Coordinator) Progress() (done, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.specs) - c.remaining, len(c.specs)
+}
+
+// Cancel abandons every unfinished run: each gets an error record
+// carrying reason (flushed to Out like any other completion, so consumers
+// of the incremental output see the sweep settle), the pending queue is
+// emptied, and every live worker connection is closed. Closing the
+// connections bounds cancellation — a handler blocked on a slow or silent
+// worker errors out immediately and the requeue path finds the run
+// already done — at the cost of discarding in-flight results (the
+// simulator has no preemption points; a worker's in-flight run burns to
+// completion and its record is dropped with the connection). Wait still
+// returns the full record set, with the canceled runs' errors joined into
+// its error. Cancel after completion is a no-op.
+func (c *Coordinator) Cancel(reason string) {
+	c.mu.Lock()
+	if c.remaining > 0 {
+		c.queue = nil
+		for i := range c.specs {
+			if c.done[i] {
+				continue
+			}
+			c.records[i] = c.mergeRecord(i, &scenario.Record{Run: c.specs[i].Run, Error: reason})
+			c.done[i] = true
+			c.remaining--
+		}
+		c.flushLocked()
+		c.cond.Broadcast()
+	}
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}
+
 // Wait blocks until every run has a record, then shuts the listener down
 // and returns the records in run-index order. Like scenario.RunSpecs, the
 // error joins all per-run failures plus any output-write failure; records
@@ -285,6 +331,14 @@ func (c *Coordinator) acceptLoop() {
 func (c *Coordinator) handle(conn net.Conn) {
 	defer c.handlers.Done()
 	defer conn.Close()
+	c.mu.Lock()
+	c.conns[conn] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 		// Keepalive makes the requeue contract hold under silent

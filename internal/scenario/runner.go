@@ -4,6 +4,7 @@
 // simulator state and a run's statistics are unaffected by what else the
 // pool is doing. Wall-clock time is the only host-dependent field; it is
 // recorded but excluded from reproducibility comparisons (see DESIGN.md).
+
 package scenario
 
 import (

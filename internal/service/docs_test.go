@@ -1,0 +1,42 @@
+package service
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestAPIDocsCoverRouter enforces the docs contract both ways: every
+// route registered on the daemon's mux appears as a `### `METHOD /path“
+// heading in docs/API.md, and every such heading names a route that is
+// actually registered. Adding an endpoint without documenting it — or
+// documenting one that does not exist — fails this test.
+func TestAPIDocsCoverRouter(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must ship with the service: %v", err)
+	}
+	headingRe := regexp.MustCompile("(?m)^### `((?:GET|POST|PUT|DELETE|PATCH|HEAD) [^`]+)`")
+	documented := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/API.md has no `### `METHOD /path`` endpoint headings")
+	}
+	registered := map[string]bool{}
+	for _, pat := range New(Options{Workers: -1}).RoutePatterns() {
+		registered[pat] = true
+		if !documented[pat] {
+			t.Errorf("route %q is registered but not documented in docs/API.md", pat)
+		}
+	}
+	for pat := range documented {
+		if !registered[pat] {
+			t.Errorf("docs/API.md documents %q, which is not a registered route", pat)
+		}
+	}
+	if t.Failed() {
+		t.Logf("registered routes: %v", New(Options{Workers: -1}).RoutePatterns())
+	}
+}

@@ -1,0 +1,328 @@
+// The v1 HTTP surface. Routes are declared in one walkable table
+// (routes) so tests can assert that every registered pattern is
+// documented in docs/API.md and vice versa; the method-qualified
+// patterns make net/http answer 405 for wrong methods on known paths.
+//
+// Logging follows the exemplar policy (SNIPPETS.md §1): non-2xx
+// responses are always logged, 2xx only in verbose mode, one structured
+// JSON line per request.
+
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// JobStatus is the wire form of one job on the v1 API (GET /v1/jobs and
+// GET /v1/jobs/{id}). Unlike Records, status is about the daemon, not
+// the simulation — it carries wall-clock fields freely.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"` // queued | running | done | failed
+	Scenario string `json:"scenario"`
+	// RunsTotal is the scenario's expanded run count; RunsDone of them
+	// have a record (executed, cache-served, or error-stamped).
+	RunsTotal int `json:"runs_total"`
+	RunsDone  int `json:"runs_done"`
+	// RunsExecuted were simulated by workers; RunsCached were served by
+	// the record cache without dispatching.
+	RunsExecuted int `json:"runs_executed"`
+	RunsCached   int `json:"runs_cached"`
+	// RecordsAvailable is how many JSONL lines /records can serve right
+	// now (== RunsDone once the in-order flush catches up).
+	RecordsAvailable int `json:"records_available"`
+	// DispatchAddr is the running job's coordinator address: external
+	// `graphite-sweep -worker -connect` processes may attach to it to
+	// lend the job capacity. Empty unless the job is running.
+	DispatchAddr string `json:"dispatch_addr,omitempty"`
+	Error        string `json:"error,omitempty"`
+	CreatedAt    string `json:"created_at"`
+	StartedAt    string `json:"started_at,omitempty"`
+	FinishedAt   string `json:"finished_at,omitempty"`
+}
+
+// JobList is the wire form of GET /v1/jobs.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// apiError is the wire form of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// maxScenarioBytes bounds a POST /v1/jobs body. Scenario files are a few
+// KB; the cap only exists so a stray upload cannot balloon the daemon.
+const maxScenarioBytes = 8 << 20
+
+// route is one row of the v1 routing table.
+type route struct {
+	// Pattern is a method-qualified net/http ServeMux pattern, e.g.
+	// "GET /v1/jobs/{id}". It is the unit the docs test walks.
+	Pattern string
+	handler http.HandlerFunc
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{"POST /v1/jobs", s.handleSubmit},
+		{"GET /v1/jobs", s.handleList},
+		{"GET /v1/jobs/{id}", s.handleStatus},
+		{"GET /v1/jobs/{id}/records", s.handleRecords},
+		{"DELETE /v1/jobs/{id}", s.handleCancel},
+		{"GET /healthz", s.handleHealthz},
+		{"GET /metrics", s.handleMetrics},
+	}
+}
+
+// RoutePatterns returns every registered route pattern — the contract
+// docs/API.md must cover (enforced by a test).
+func (s *Server) RoutePatterns() []string {
+	var out []string
+	for _, rt := range s.routes() {
+		out = append(out, rt.Pattern)
+	}
+	return out
+}
+
+// Handler builds the daemon's HTTP handler: the v1 mux wrapped in the
+// logging/metrics middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, rt := range s.routes() {
+		mux.Handle(rt.Pattern, rt.handler)
+	}
+	return s.instrument(mux)
+}
+
+// instrument counts and (per the logging policy) logs every request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		// r.Pattern is set by ServeMux on match; empty means 404/405
+		// territory, which the counter files under "unmatched".
+		s.metrics.countRequest(r.Pattern, code)
+		if s.opt.Log == nil || (code < 300 && !s.opt.Verbose) {
+			return
+		}
+		line, _ := json.Marshal(map[string]any{
+			"time":   start.UTC().Format(time.RFC3339Nano),
+			"method": r.Method,
+			"path":   r.URL.Path,
+			"status": code,
+			"dur_ms": float64(time.Since(start).Microseconds()) / 1e3,
+		})
+		fmt.Fprintf(s.opt.Log, "%s\n", line)
+	})
+}
+
+// statusRecorder captures the response code for the middleware. Unwrap
+// keeps http.ResponseController (and so the streaming handler's Flush)
+// working through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit: POST /v1/jobs — body is a scenario JSON document, the
+// same schema graphite-sweep -scenario reads from a file.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sc, err := parseScenarioBody(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.Submit(sc)
+	if err != nil {
+		if errors.Is(err, errDraining) {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusCreated, s.status(j))
+}
+
+func parseScenarioBody(r *http.Request) (*scenario.Scenario, error) {
+	defer io.Copy(io.Discard, r.Body)
+	return scenario.Parse(http.MaxBytesReader(nil, r.Body, maxScenarioBytes))
+}
+
+// handleList: GET /v1/jobs — every job, submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.JobsInOrder()
+	list := JobList{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		list.Jobs = append(list.Jobs, s.status(j))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleStatus: GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleRecords: GET /v1/jobs/{id}/records[?from=N] — the job's merged
+// JSONL, streamed incrementally in run-index order. The response stays
+// open until the job settles; ?from=N skips the first N records, so a
+// client that read N lines before losing its connection resumes exactly
+// where it stopped (the lines are immutable once flushed).
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "from must be a non-negative integer, got %q", q)
+			return
+		}
+		from = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush() // commit the header before the first (possibly slow) record
+	for i := from; ; i++ {
+		line, ok := j.log.wait(r.Context(), i)
+		if !ok {
+			return
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		s.metrics.recordsServed.Add(1)
+	}
+}
+
+// handleCancel: DELETE /v1/jobs/{id}. Cancellation is asynchronous for a
+// running job: the response carries the status snapshot at cancel time;
+// the job settles to failed once its in-flight work unwinds.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, errNoJob) {
+			writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+			return
+		}
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleHealthz: GET /healthz — 200 "ok" while serving, 503 "draining"
+// once shutdown has begun (so load balancers rotate the daemon out while
+// in-flight jobs finish).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// handleMetrics: GET /metrics — Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var cs cacheStats
+	if s.opt.Cache != nil {
+		st := s.opt.Cache.Stats()
+		cs = cacheStats{
+			hits: st.Hits, misses: st.Misses, evictions: st.Evictions,
+			entries: int64(st.Entries), bytes: st.Bytes,
+			diskEntries: int64(st.DiskEntries), diskLive: st.DiskLive,
+		}
+	}
+	s.mu.Lock()
+	gauges := s.gaugesLocked()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, gauges, s.workers, cs)
+}
+
+// status snapshots one job into its wire form.
+func (s *Server) status(j *Job) JobStatus {
+	s.mu.Lock()
+	st := JobStatus{
+		ID:               j.id,
+		State:            j.state,
+		Scenario:         j.name,
+		RunsTotal:        j.runsTotal,
+		RecordsAvailable: j.log.len(),
+		Error:            j.errMsg,
+		CreatedAt:        j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	coord := j.coord
+	if j.state == StateRunning && coord != nil {
+		st.DispatchAddr = coord.Addr()
+	}
+	s.mu.Unlock()
+	if coord != nil {
+		st.RunsDone, _ = coord.Progress()
+		st.RunsExecuted = coord.Executed()
+		st.RunsCached = coord.Cached()
+	}
+	return st
+}

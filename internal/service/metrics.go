@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics holds the daemon's Prometheus counters. The policy follows the
+// exemplar service this daemon is modeled on (SNIPPETS.md §1): counters
+// are monotonic for the life of the process, and no metric carries a
+// per-job label — job IDs are unbounded, so jobs appear only aggregated
+// by state. Cache counters are not duplicated here; they are read from
+// the record cache's own monotonic Stats at scrape time.
+type metrics struct {
+	jobsSubmitted atomic.Int64 // jobs accepted by POST /v1/jobs
+	runsCompleted atomic.Int64 // records merged in run-index order
+	recordsServed atomic.Int64 // JSONL lines written to record streams
+
+	mu   sync.Mutex
+	http map[httpKey]int64 // requests by route pattern and status code
+}
+
+// httpKey is one cell of the request counter: the matched route pattern
+// (bounded by the route table; "unmatched" for 404/405s) and the status.
+type httpKey struct {
+	route string
+	code  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{http: make(map[httpKey]int64)}
+}
+
+func (m *metrics) countRequest(route string, code int) {
+	if route == "" {
+		route = "unmatched"
+	}
+	m.mu.Lock()
+	m.http[httpKey{route, code}]++
+	m.mu.Unlock()
+}
+
+// jobGauges is the point-in-time jobs-by-state snapshot rendered into
+// graphited_jobs; the Server computes it under its own lock.
+type jobGauges struct {
+	queued, running, done, failed int
+}
+
+// render writes the Prometheus text exposition. cache may be a zero
+// CacheStats when no cache directory is configured — the series are still
+// emitted (at zero) so dashboards need no existence checks.
+func (m *metrics) render(w io.Writer, jobs jobGauges, workers int, cache cacheStats) {
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP graphited_jobs Jobs known to the daemon, by lifecycle state.\n# TYPE graphited_jobs gauge\n")
+	fmt.Fprintf(w, "graphited_jobs{state=\"queued\"} %d\n", jobs.queued)
+	fmt.Fprintf(w, "graphited_jobs{state=\"running\"} %d\n", jobs.running)
+	fmt.Fprintf(w, "graphited_jobs{state=\"done\"} %d\n", jobs.done)
+	fmt.Fprintf(w, "graphited_jobs{state=\"failed\"} %d\n", jobs.failed)
+
+	c("graphited_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", m.jobsSubmitted.Load())
+	c("graphited_runs_completed_total", "Simulation runs merged into job output, in run-index order.", m.runsCompleted.Load())
+	c("graphited_records_served_total", "JSONL record lines written to /records streams.", m.recordsServed.Load())
+	g("graphited_workers", "In-process worker slots attached to each running job.", int64(workers))
+
+	c("graphited_cache_hits_total", "Record cache hits (runs served without simulating).", cache.hits)
+	c("graphited_cache_misses_total", "Record cache misses.", cache.misses)
+	c("graphited_cache_evictions_total", "Record cache memory-tier evictions.", cache.evictions)
+	g("graphited_cache_entries", "Record cache in-memory entries.", cache.entries)
+	g("graphited_cache_bytes", "Record cache in-memory record bytes.", cache.bytes)
+	g("graphited_cache_disk_entries", "Record cache live disk entries.", cache.diskEntries)
+	g("graphited_cache_disk_bytes", "Record cache live disk bytes.", cache.diskLive)
+
+	m.mu.Lock()
+	keys := make([]httpKey, 0, len(m.http))
+	for k := range m.http {
+		keys = append(keys, k)
+	}
+	counts := make(map[httpKey]int64, len(keys))
+	for _, k := range keys {
+		counts[k] = m.http[k]
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP graphited_http_requests_total HTTP requests by route pattern and status code.\n# TYPE graphited_http_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "graphited_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, counts[k])
+	}
+}
+
+// cacheStats is the slice of recordcache.Stats the metrics page exposes,
+// decoupled from the concrete cache type so render needs no cache import.
+type cacheStats struct {
+	hits, misses, evictions int64
+	entries, bytes          int64
+	diskEntries, diskLive   int64
+}

@@ -74,8 +74,11 @@ type Report struct {
 	HostCPUs  int       `json:"host_cpus"`
 	Preset    string    `json:"preset"`
 	Benches   []Result  `json:"benches"`
-	Baseline  *Report   `json:"baseline,omitempty"`
-	Deltas    []Delta   `json:"deltas,omitempty"`
+	// HostScale holds the 64-1024-tile host-worker scaling curves when
+	// the report was recorded with -hostscale.
+	HostScale *experiments.HostScaleResult `json:"hostscale,omitempty"`
+	Baseline  *Report                      `json:"baseline,omitempty"`
+	Deltas    []Delta                      `json:"deltas,omitempty"`
 }
 
 func main() {
@@ -87,8 +90,29 @@ func main() {
 		check    = flag.Float64("check", 0, "with -baseline: exit nonzero if wall time, allocs/op, or sim instr/sec regress beyond this percentage (the CI bench-regression gate)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the whole bench run to this file (go tool pprof)")
 		memprof  = flag.String("memprofile", "", "write an allocation profile taken after the benches to this file (go tool pprof -sample_index=alloc_objects)")
+		hostscl  = flag.Bool("hostscale", false, "also record the 64-1024-tile host-worker scaling curves (experiments.HostScale at the full preset) and apply the per-tile cost guard")
+		verifyHS = flag.String("verify-hostscale", "", "apply the hostscale per-tile cost guard to an existing report and exit (no benches run)")
 	)
 	flag.Parse()
+	if *verifyHS != "" {
+		rep, err := readReport(*verifyHS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if rep.HostScale == nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: %s has no hostscale section (record it with -hostscale)\n", *verifyHS)
+			os.Exit(1)
+		}
+		if bad := hostScaleGuard(rep.HostScale); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "HOSTSCALE REGRESSION:", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("hostscale guard: PASS (%s)\n", *verifyHS)
+		return
+	}
 	if *check < 0 || (*check > 0 && *baseline == "") {
 		fmt.Fprintln(os.Stderr, "graphite-bench: -check needs a positive tolerance and -baseline")
 		os.Exit(2)
@@ -151,6 +175,16 @@ func main() {
 		rep.Benches = append(rep.Benches, r)
 	}
 
+	if *hostscl {
+		fmt.Fprintln(os.Stderr, "running hostscale (full preset, 64-1024 tiles)...")
+		hs, err := experiments.HostScale(experiments.Full, nil, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphite-bench: hostscale: %v\n", err)
+			os.Exit(1)
+		}
+		rep.HostScale = hs
+	}
+
 	// Profiles are finalized before the report/gate logic so that a
 	// failing regression gate (os.Exit) cannot truncate them.
 	if *cpuprof != "" {
@@ -190,6 +224,21 @@ func main() {
 	printSummary(rep)
 	fmt.Printf("wrote %s\n", *out)
 
+	// Gates run after the report is on disk so CI can upload it as an
+	// artifact even when one fails. The hostscale guard is absolute (a
+	// property of this report alone, no baseline needed): per-tile wall
+	// cost at the largest tile count must stay within 2x of the
+	// smallest, or the stack has grown a superlinear per-tile cost.
+	if rep.HostScale != nil {
+		if bad := hostScaleGuard(rep.HostScale); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "HOSTSCALE REGRESSION:", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("hostscale guard: PASS")
+	}
+
 	// The regression gate runs after the report is on disk so CI can
 	// upload it as an artifact even when the gate fails.
 	if *check > 0 {
@@ -211,6 +260,51 @@ func main() {
 		}
 		fmt.Printf("bench-regression: PASS (all deltas within ±%.0f%% of %s)\n", *check, *baseline)
 	}
+}
+
+// hostScaleGuard checks the scaling section's structural invariants: the
+// per-tile wall cost (WallSec/Tiles) at the largest tile count must be
+// within 2x of the smallest tile count at every worker count measured,
+// and every point must have reproduced the 1-worker result exactly. The
+// curves run a fixed total problem, so per-tile wall falling (or holding)
+// as tiles grow proves per-tile overhead — construction, synchronization,
+// directory and mesh state — stays sub-linear in the tile count; any
+// quadratic structure in the stack flattens the ratio past the gate.
+func hostScaleGuard(hs *experiments.HostScaleResult) []string {
+	var bad []string
+	minTiles, maxTiles := 0, 0
+	for _, p := range hs.Points {
+		if !p.Identical {
+			bad = append(bad, fmt.Sprintf("tiles=%d workers=%d: result differs from the 1-worker run", p.Tiles, p.Workers))
+		}
+		if minTiles == 0 || p.Tiles < minTiles {
+			minTiles = p.Tiles
+		}
+		if p.Tiles > maxTiles {
+			maxTiles = p.Tiles
+		}
+	}
+	if minTiles == maxTiles {
+		return bad // a single curve has no cross-size ratio to judge
+	}
+	small := make(map[int]float64) // workers -> wall-sec/tile at minTiles
+	for _, p := range hs.Points {
+		if p.Tiles == minTiles && p.WallSec > 0 {
+			small[p.Workers] = p.WallSec / float64(p.Tiles)
+		}
+	}
+	for _, p := range hs.Points {
+		ref, ok := small[p.Workers]
+		if p.Tiles != maxTiles || !ok || p.WallSec <= 0 {
+			continue
+		}
+		if perTile := p.WallSec / float64(p.Tiles); perTile > 2*ref {
+			bad = append(bad, fmt.Sprintf(
+				"%d-tile point costs %.2f ms/tile at %d workers, >2x the %d-tile point's %.2f",
+				maxTiles, perTile*1e3, p.Workers, minTiles, ref*1e3))
+		}
+	}
+	return bad
 }
 
 // regressions lists benches whose wall time, allocations, or simulated
@@ -360,6 +454,9 @@ func printSummary(rep *Report) {
 	fmt.Printf("%-20s %12s %14s %14s\n", "bench", "wall-sec", "allocs/op", "bytes/op")
 	for _, r := range rep.Benches {
 		fmt.Printf("%-20s %12.4f %14d %14d\n", r.Name, r.WallSec, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if rep.HostScale != nil {
+		rep.HostScale.Print(os.Stdout)
 	}
 	for _, d := range rep.Deltas {
 		line := fmt.Sprintf("delta %-14s wall %+6.1f%%  allocs %+6.1f%%", d.Name, d.WallPct, d.AllocsPct)

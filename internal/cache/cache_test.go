@@ -14,17 +14,17 @@ func testCfg(size, assoc, line int) config.CacheConfig {
 
 func TestLookupMissThenHit(t *testing.T) {
 	c := New(testCfg(1024, 2, 64))
-	if c.Lookup(5) != nil {
+	if _, ok := c.Lookup(5); ok {
 		t.Fatal("hit in empty cache")
 	}
 	data := bytes.Repeat([]byte{0xAB}, 64)
 	c.Insert(5, Shared, data)
-	ln := c.Lookup(5)
-	if ln == nil {
+	ln, ok := c.Lookup(5)
+	if !ok {
 		t.Fatal("miss after insert")
 	}
-	if ln.State != Shared || !bytes.Equal(ln.Data, data) {
-		t.Fatalf("bad line: state=%v", ln.State)
+	if ln.State() != Shared || !bytes.Equal(ln.Data(), data) {
+		t.Fatalf("bad line: state=%v", ln.State())
 	}
 	if c.Hits != 1 || c.Misses != 1 {
 		t.Fatalf("counters: hits=%d misses=%d", c.Hits, c.Misses)
@@ -37,7 +37,7 @@ func TestInsertCopiesData(t *testing.T) {
 	data[0] = 1
 	c.Insert(1, Modified, data)
 	data[0] = 99 // caller reuses its buffer
-	if ln := c.Peek(1); ln.Data[0] != 1 {
+	if ln, ok := c.Peek(1); !ok || ln.Data()[0] != 1 {
 		t.Fatal("cache aliased caller's buffer")
 	}
 }
@@ -56,8 +56,14 @@ func TestLRUEviction(t *testing.T) {
 	if victim.Addr != 2 {
 		t.Fatalf("evicted line %d, want LRU line 2", victim.Addr)
 	}
-	if c.Peek(0) == nil || c.Peek(4) == nil || c.Peek(2) != nil {
-		t.Fatal("wrong residents after eviction")
+	if _, ok := c.Peek(0); !ok {
+		t.Fatal("line 0 missing after eviction")
+	}
+	if _, ok := c.Peek(4); !ok {
+		t.Fatal("line 4 missing after eviction")
+	}
+	if _, ok := c.Peek(2); ok {
+		t.Fatal("evicted line 2 still resident")
 	}
 }
 
@@ -71,11 +77,11 @@ func TestInsertNeverDuplicatesLine(t *testing.T) {
 	c.Invalidate(0)
 	c.Insert(2, Modified, zero)
 	count := 0
-	c.ForEach(func(l *Line) {
-		if l.Addr == 2 {
+	c.ForEach(func(l Line) {
+		if l.Addr() == 2 {
 			count++
-			if l.State != Modified {
-				t.Fatalf("upgrade lost: %v", l.State)
+			if l.State() != Modified {
+				t.Fatalf("upgrade lost: %v", l.State())
 			}
 		}
 	})
@@ -88,13 +94,13 @@ func TestUpgradePreservesDirtyAndMask(t *testing.T) {
 	c := New(testCfg(256, 2, 64))
 	zero := make([]byte, 64)
 	c.Insert(2, Modified, zero)
-	ln := c.Peek(2)
-	ln.Dirty = true
-	ln.WriteMask = 0b1010
+	ln, _ := c.Peek(2)
+	ln.SetDirty(true)
+	ln.SetWriteMask(0b1010)
 	c.Insert(2, Modified, zero) // refill in place
-	ln = c.Peek(2)
-	if !ln.Dirty || ln.WriteMask != 0b1010 {
-		t.Fatalf("in-place refill dropped dirty/mask: %v %b", ln.Dirty, ln.WriteMask)
+	ln, _ = c.Peek(2)
+	if !ln.Dirty() || ln.WriteMask() != 0b1010 {
+		t.Fatalf("in-place refill dropped dirty/mask: %v %b", ln.Dirty(), ln.WriteMask())
 	}
 }
 
@@ -102,11 +108,11 @@ func TestInvalidate(t *testing.T) {
 	c := New(testCfg(256, 2, 64))
 	data := bytes.Repeat([]byte{7}, 64)
 	c.Insert(3, Modified, data)
-	ln, ok := c.Invalidate(3)
-	if !ok || !bytes.Equal(ln.Data, data) || ln.State != Modified {
-		t.Fatalf("invalidate returned %v %v", ok, ln.State)
+	v, ok := c.Invalidate(3)
+	if !ok || !bytes.Equal(v.Data, data) || v.State != Modified {
+		t.Fatalf("invalidate returned %v %v", ok, v.State)
 	}
-	if c.Peek(3) != nil {
+	if _, ok := c.Peek(3); ok {
 		t.Fatal("line still present")
 	}
 	if _, ok := c.Invalidate(3); ok {
@@ -117,12 +123,12 @@ func TestInvalidate(t *testing.T) {
 func TestDowngrade(t *testing.T) {
 	c := New(testCfg(256, 2, 64))
 	c.Insert(3, Modified, make([]byte, 64))
-	ln := c.Peek(3)
-	ln.Dirty = true
-	ln.WriteMask = 5
+	ln, _ := c.Peek(3)
+	ln.SetDirty(true)
+	ln.SetWriteMask(5)
 	got, ok := c.Downgrade(3)
-	if !ok || got.State != Shared || got.Dirty || got.WriteMask != 0 {
-		t.Fatalf("downgrade: %+v %v", got, ok)
+	if !ok || got.State() != Shared || got.Dirty() || got.WriteMask() != 0 {
+		t.Fatalf("downgrade: state=%v dirty=%v mask=%b ok=%v", got.State(), got.Dirty(), got.WriteMask(), ok)
 	}
 	if _, ok := c.Downgrade(99); ok {
 		t.Fatal("downgraded absent line")
@@ -132,7 +138,8 @@ func TestDowngrade(t *testing.T) {
 func TestWritebackCounter(t *testing.T) {
 	c := New(testCfg(128, 1, 64)) // direct-mapped, 2 sets
 	c.Insert(0, Modified, make([]byte, 64))
-	c.Peek(0).Dirty = true
+	ln, _ := c.Peek(0)
+	ln.SetDirty(true)
 	_, evicted := c.Insert(2, Shared, make([]byte, 64)) // same set as line 0
 	if !evicted {
 		t.Fatal("expected eviction")
@@ -167,9 +174,25 @@ func TestOccupancyAndForEach(t *testing.T) {
 		t.Fatalf("occupancy = %d", c.Occupancy())
 	}
 	seen := map[LineAddr]bool{}
-	c.ForEach(func(l *Line) { seen[l.Addr] = true })
+	c.ForEach(func(l Line) { seen[l.Addr()] = true })
 	if len(seen) != 5 {
 		t.Fatalf("ForEach visited %d lines", len(seen))
+	}
+}
+
+func TestReleaseRecyclesStorage(t *testing.T) {
+	cfg := testCfg(1024, 2, 64)
+	c := New(cfg)
+	c.Insert(7, Modified, bytes.Repeat([]byte{0xEE}, 64))
+	c.Release()
+	// A fresh instance of the same geometry must start empty even if it
+	// reuses the released arrays.
+	c2 := New(cfg)
+	if c2.Occupancy() != 0 {
+		t.Fatalf("recycled cache not empty: occupancy=%d", c2.Occupancy())
+	}
+	if _, ok := c2.Peek(7); ok {
+		t.Fatal("stale line visible after recycle")
 	}
 }
 
@@ -222,8 +245,8 @@ func TestLookupAfterManyInsertsFindsLatestData(t *testing.T) {
 		c.Insert(l, Modified, d)
 		d[0] = v2
 		c.Insert(l, Modified, d)
-		ln := c.Peek(l)
-		return ln != nil && ln.Data[0] == v2
+		ln, ok := c.Peek(l)
+		return ok && ln.Data()[0] == v2
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -78,7 +78,7 @@ func NewCluster(cfg config.Config, prog Program) (*Cluster, error) {
 
 	switch cfg.Transport {
 	case config.TransportChannel:
-		c.fabric = transport.NewChannelFabric(transport.StripedRoute(cfg.Processes))
+		c.fabric = transport.NewChannelFabricSized(transport.StripedRoute(cfg.Processes), cfg.Tiles)
 		for p := 0; p < cfg.Processes; p++ {
 			c.transports = append(c.transports, c.fabric.Process(arch.ProcID(p)))
 		}

@@ -333,6 +333,68 @@ func TestLaxP2PModelRuns(t *testing.T) {
 	}
 }
 
+// TestLaxBarrierMultiProcess drives the batched epoch ledger across two
+// host processes: each process forwards its tiles' waits in one batch,
+// and the MCP releases per process. The workers also contend on a mutex,
+// so threads transition through the control-plane-blocked state that the
+// ledger must treat as round-completing (a blocked thread can produce no
+// wait, and holding its neighbors' waits would deadlock the barrier).
+func TestLaxBarrierMultiProcess(t *testing.T) {
+	cfg := testCfg(4, 2)
+	cfg.Sync.Model = config.LaxBarrier
+	cfg.Sync.BarrierQuantum = 500
+	prog := Program{Name: "barrier2proc"}
+	prog.Funcs = []ThreadFunc{
+		func(th *Thread, arg uint64) {
+			shared := th.Malloc(64)
+			mtx := th.Malloc(64)
+			// Tiles stripe across processes, so the three children land in
+			// both host processes.
+			var kids []arch.ThreadID
+			for i := 0; i < 3; i++ {
+				kids = append(kids, th.Spawn(1, uint64(shared)<<32|uint64(mtx)))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+			if got := th.Load64(arch.Addr(shared)); got != 3*20 {
+				t.Errorf("counter = %d, want 60", got)
+			}
+		},
+		func(th *Thread, arg uint64) {
+			shared, mtx := arch.Addr(arg>>32), arch.Addr(arg&0xFFFFFFFF)
+			for i := 0; i < 20; i++ {
+				th.Compute(coremodel.Arith, 50)
+				th.MutexLock(mtx)
+				th.Store64(shared, th.Load64(shared)+1)
+				th.MutexUnlock(mtx)
+			}
+		},
+	}
+	rs, _ := run(t, cfg, prog, 0)
+	if rs.SimulatedCycles <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+// BenchmarkClusterConstruction1024 measures building and tearing down a
+// thousand-tile simulation: per-tile rings, the dense transport array,
+// cache arenas, and directory stores must all be sized up front rather
+// than grown through rehash/regrowth schedules, or construction dominates
+// short sweep runs at this scale.
+func BenchmarkClusterConstruction1024(b *testing.B) {
+	cfg := testCfg(1024, 1)
+	prog := Program{Name: "noop", Funcs: []ThreadFunc{func(th *Thread, arg uint64) {}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(cfg, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
 // twoWorkerComputeProgram builds a program whose two workers interleave
 // compute and shared-memory traffic, giving sync models work to do.
 func twoWorkerComputeProgram(t *testing.T) Program {

@@ -26,11 +26,20 @@ type Proc struct {
 	progress *clock.ProgressWindow
 	models   *network.Models
 
-	tiles    map[arch.TileID]*Tile
+	// tiles is dense, indexed by global tile ID (nil for tiles owned by
+	// other processes): thread starts and LaxP2P local-partner probes
+	// resolve a tile with one array load, and a thousand-tile process
+	// allocates the table in one step instead of growing a map. tileList
+	// holds only the local tiles, in stripe order.
+	tiles    []*Tile
 	tileList []*Tile
 
 	lcp    *mcp.LCP
 	lcpNet *network.Net
+
+	// ledger batches this process's LaxBarrier waits into one MCP message
+	// per quantum round (nil under Lax and LaxP2P).
+	ledger *synchro.Ledger
 
 	// MCP, present on process 0 only.
 	MCP    *mcp.Server
@@ -54,7 +63,7 @@ func NewProc(id arch.ProcID, cfg *config.Config, prog Program, tr transport.Tran
 		prog:     prog,
 		tr:       tr,
 		progress: clock.NewProgressWindow(cfg.ProgressWindowSize()),
-		tiles:    make(map[arch.TileID]*Tile),
+		tiles:    make([]*Tile, cfg.Tiles),
 	}
 	p.models = network.NewModels(cfg, p.progress)
 
@@ -77,6 +86,18 @@ func NewProc(id arch.ProcID, cfg *config.Config, prog Program, tr transport.Tran
 		return nil, err
 	}
 	p.lcpNet = network.New(arch.TileID(transport.LCP(id)), tr, lcpEP, p.models, nil)
+	if cfg.Sync.Model == config.LaxBarrier {
+		// Batches ride the zero-delay system network from the LCP endpoint;
+		// Net.Send is safe from the app-thread goroutine that completes a
+		// round. Ledger waits carry no simulated time — the MCP's barrier
+		// service never reads it (releases are at time 0).
+		p.ledger = synchro.NewLedger(func(ws []synchro.EpochWait) {
+			p.lcpNet.Send(network.ClassSystem, mcp.MsgSimBarrierBatch, mcpTile, 0, mcp.EncodeSimBatch(ws), 0)
+		})
+		for _, t := range p.tileList {
+			t.onBlock = p.ledger.SetBlocked
+		}
+	}
 	p.lcp = mcp.NewLCP(id, p.lcpNet, mcp.LCPCallbacks{
 		StartThread:  p.startThread,
 		CollectStats: p.collectStats,
@@ -84,6 +105,11 @@ func NewProc(id arch.ProcID, cfg *config.Config, prog Program, tr transport.Tran
 		Shutdown: func() {
 			if p.OnShutdown != nil {
 				p.OnShutdown()
+			}
+		},
+		SimRelease: func(epoch int64) {
+			if p.ledger != nil {
+				p.ledger.Release(epoch)
 			}
 		},
 	})
@@ -115,10 +141,10 @@ func (p *Proc) Start() {
 
 // startThread is the LCP callback launching an application thread.
 func (p *Proc) startThread(st mcp.StartThread, start arch.Cycles) {
-	tile := p.tiles[st.Tile]
-	if tile == nil {
+	if int(st.Tile) >= len(p.tiles) || p.tiles[st.Tile] == nil {
 		panic(fmt.Sprintf("core: process %d asked to start thread on foreign tile %v", p.id, st.Tile))
 	}
+	tile := p.tiles[st.Tile]
 	if int(st.Func) >= len(p.prog.Funcs) {
 		panic(fmt.Sprintf("core: spawn of unregistered function %d", st.Func))
 	}
@@ -127,12 +153,21 @@ func (p *Proc) startThread(st mcp.StartThread, start arch.Cycles) {
 		defer p.threads.Done()
 		tile.Clock.Forward(start)
 		tile.active.Store(true)
+		if p.ledger != nil {
+			p.ledger.ThreadStarted(tile.ID)
+		}
 		th := &Thread{tile: tile, proc: p}
 		if m := p.newSyncModel(tile); m != nil {
 			th.tickFn = m.Tick
 		}
 		p.prog.Funcs[st.Func](th, st.Arg)
 		tile.active.Store(false)
+		if p.ledger != nil {
+			// Before the MCP hears of the exit: the departure may complete
+			// the local round, and the flushed waits must not trail the
+			// exit's recheck at the MCP longer than necessary.
+			p.ledger.ThreadExited(tile.ID)
+		}
 		instr, br, miss, comp, mem := tile.Core.Stats()
 		tile.Mem.SetFinal(tile.Clock.Now(), instr, br, miss, comp, mem)
 		tile.sys.notify(mcp.MsgThreadExit, mcpTile, nil, tile.Clock.Now())
@@ -148,18 +183,30 @@ func (p *Proc) newSyncModel(tile *Tile) synchro.Model {
 	switch p.cfg.Sync.Model {
 	case config.LaxBarrier:
 		return synchro.NewBarrier(p.cfg.Sync.BarrierQuantum, func(epoch int64) {
-			tile.sys.call(mcp.MsgSimBarrier, mcpTile, mcp.EncodeU64(uint64(epoch)), tile.Clock.Now())
+			// Park at the process ledger; the wait reaches the MCP in the
+			// round's batch and the ledger wakes us on the epoch release.
+			p.ledger.Wait(tile.ID, epoch)
 		})
 	case config.LaxP2P:
 		probe := func(target arch.TileID) (arch.Cycles, bool) {
+			if local := p.tiles[target]; local != nil {
+				// Same-process partner: its clock is an atomic word — read
+				// it directly instead of a system-network round trip. With
+				// one host process a thousand tiles probe without a single
+				// RPC.
+				if !local.Running() {
+					// A partner with no running thread (or blocked in the
+					// control plane) is waiting, not behind: skip it.
+					return 0, false
+				}
+				return local.Clock.Now(), true
+			}
 			pkt, ok := tile.sys.call(mcp.MsgClockProbe, target, nil, tile.Clock.Now())
 			if !ok {
 				return 0, false
 			}
 			v, running, err := mcp.DecodeU64Pair(pkt.Payload)
 			if err != nil || running == 0 {
-				// A partner with no running thread (or blocked in the
-				// control plane) is waiting, not behind: skip it.
 				return 0, false
 			}
 			return arch.Cycles(v), true
@@ -167,9 +214,9 @@ func (p *Proc) newSyncModel(tile *Tile) synchro.Model {
 		// While napping the tile is waiting, not behind: exclude it from
 		// skew sampling and partner probes like any blocked thread.
 		nap := func(d time.Duration) {
-			tile.rpcBlocked.Store(true)
+			tile.setRPCBlocked(true)
 			time.Sleep(d)
-			tile.rpcBlocked.Store(false)
+			tile.setRPCBlocked(false)
 		}
 		return synchro.NewP2P(p.cfg.Sync, tile.ID, p.cfg.Tiles, p.cfg.RandSeed, probe, nap)
 	default:
@@ -203,6 +250,9 @@ func (p *Proc) Wait() { p.threads.Wait() }
 // the LCP net, and the MCP net on process 0). The transport itself belongs
 // to the caller and is closed separately.
 func (p *Proc) Close() {
+	if p.ledger != nil {
+		p.ledger.Close() // wake any threads parked at the barrier
+	}
 	for _, t := range p.tileList {
 		t.Net.Close()
 	}

@@ -37,6 +37,22 @@ type Tile struct {
 	// unblocked tiles — a frozen clock is not "behind", it is waiting.
 	active     atomic.Bool
 	rpcBlocked atomic.Bool
+
+	// onBlock, if set (LaxBarrier only), forwards rpcBlocked transitions
+	// to the process's epoch ledger: a thread entering a control-plane
+	// wait can complete the local barrier round, so the ledger must
+	// re-evaluate its flush condition. Nil under Lax and LaxP2P — the
+	// transition then costs one atomic store and a nil check, as before.
+	onBlock func(arch.TileID, bool)
+}
+
+// setRPCBlocked records an rpcBlocked transition and notifies the epoch
+// ledger when one is attached.
+func (t *Tile) setRPCBlocked(blocked bool) {
+	t.rpcBlocked.Store(blocked)
+	if t.onBlock != nil {
+		t.onBlock(t.ID, blocked)
+	}
 }
 
 // Active reports whether the tile currently runs an application thread.

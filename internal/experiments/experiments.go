@@ -96,6 +96,16 @@ func baseConfig(tiles int) config.Config {
 // the sweep runner uses, so bespoke experiments and scenarios cannot
 // disagree on the result ABI.
 func runOnce(name string, threads int, scale int, cfg config.Config) (*core.RunStats, float64, error) {
+	rs, rec, err := runOnceRecord(name, threads, scale, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rs, rec.Checksum, nil
+}
+
+// runOnceRecord is runOnce returning the whole scenario Record, for
+// experiments that also need the config digest or stats snapshot.
+func runOnceRecord(name string, threads int, scale int, cfg config.Config) (*core.RunStats, scenario.Record, error) {
 	spec := scenario.RunSpec{
 		Scenario: "bespoke",
 		Workload: name,
@@ -106,9 +116,9 @@ func runOnce(name string, threads int, scale int, cfg config.Config) (*core.RunS
 	}
 	rec, rs := scenario.ExecuteStats(&spec)
 	if rec.Error != "" {
-		return nil, 0, errors.New(rec.Error)
+		return nil, scenario.Record{}, errors.New(rec.Error)
 	}
-	return rs, rec.Checksum, nil
+	return rs, rec, nil
 }
 
 // nativeTime measures the wall-clock time of the native variant, repeated

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/config"
+)
+
+// HostScalePoint is one (target tiles, host workers) measurement.
+type HostScalePoint struct {
+	Tiles   int     `json:"tiles"`
+	Workers int     `json:"workers"`
+	WallSec float64 `json:"wall_sec"`
+	// Speedup is versus the first worker count at the same tile count
+	// (the fig4 normalization, applied per curve).
+	Speedup float64 `json:"speedup"`
+	// InstrPerSec is simulated instructions per host wall second.
+	InstrPerSec float64 `json:"sim_instr_per_sec"`
+	// NSPerInstr is host nanoseconds spent per simulated instruction —
+	// the per-unit-of-target-work cost. Comparing it across tile counts
+	// (at the same worker count) exposes superlinear per-tile overhead:
+	// a quadratic structure anywhere in the stack makes the 1024-tile
+	// value blow past the 64-tile one.
+	NSPerInstr float64 `json:"ns_per_instr"`
+	// Identical reports whether this point's checksum and config digest
+	// match the first worker count's run at the same tile count: host
+	// parallelism must never change the computation's result.
+	Identical bool `json:"identical"`
+}
+
+// HostScaleResult is the thousand-tile host-worker scaling study: the
+// fig4 speedup curve measured at 64-1024 simulated tiles inside one OS
+// process, sweeping Config.Workers (GOMAXPROCS).
+type HostScaleResult struct {
+	Workload string           `json:"workload"`
+	Scale    int              `json:"scale"`
+	Points   []HostScalePoint `json:"points"`
+}
+
+// HostScale runs the host-worker scaling study: the Figure 5 workload
+// (matmul, one thread per tile, lean per-tile caches) at growing target
+// sizes, each swept across host worker counts. Wall-clock speedup is
+// only meaningful when the host actually has the cores (reports record
+// the host shape); the checksum-identity and ns-per-instruction columns
+// are host-independent.
+func HostScale(pr Preset, tileCounts, workers []int) (*HostScaleResult, error) {
+	if len(tileCounts) == 0 {
+		switch pr {
+		case Quick:
+			tileCounts = []int{16, 64}
+		case Standard:
+			tileCounts = []int{64, 256}
+		default:
+			tileCounts = []int{64, 256, 1024}
+		}
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4}
+	}
+	const workload = "matmul"
+	scale := scaleFor(workload, pr)
+	res := &HostScaleResult{Workload: workload, Scale: scale}
+	for _, tiles := range tileCounts {
+		var base, refChecksum float64
+		var refDigest string
+		for i, w := range workers {
+			cfg := baseConfig(tiles)
+			cfg.Workers = w
+			// Large targets need lean per-tile caches (host memory);
+			// applied at every size so the curves share one target.
+			cfg.L1D = config.CacheConfig{Enabled: true, Size: 4 << 10, Assoc: 2, LineSize: 64, HitLatency: 1}
+			cfg.L2 = config.CacheConfig{Enabled: true, Size: 32 << 10, Assoc: 4, LineSize: 64, HitLatency: 8}
+			rs, rec, err := runOnceRecord(workload, tiles, scale, cfg)
+			if err != nil {
+				return nil, err
+			}
+			wall := rs.Wall.Seconds()
+			if i == 0 {
+				base, refChecksum, refDigest = wall, rec.Checksum, rec.ConfigDigest
+			}
+			p := HostScalePoint{
+				Tiles:   tiles,
+				Workers: w,
+				WallSec: wall,
+				Speedup: base / wall,
+				Identical: rec.Checksum == refChecksum &&
+					rec.ConfigDigest == refDigest,
+			}
+			if instr := float64(rs.Totals.Instructions); instr > 0 && wall > 0 {
+				p.InstrPerSec = instr / wall
+				p.NSPerInstr = wall * 1e9 / instr
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+// Print renders the speedup curves, one block per tile count.
+func (r *HostScaleResult) Print(w io.Writer) {
+	fprintf(w, "Host-worker scaling of %s (scale %d, one thread per tile)\n", r.Workload, r.Scale)
+	fprintf(w, "%8s %8s %12s %9s %14s %12s %10s\n",
+		"tiles", "workers", "wall-sec", "speedup", "sim-instr/s", "ns/instr", "identical")
+	prev := -1
+	for _, p := range r.Points {
+		if prev != -1 && p.Tiles != prev {
+			fprintf(w, "\n")
+		}
+		prev = p.Tiles
+		fprintf(w, "%8d %8d %12.3f %8.2fx %14.0f %12.1f %10v\n",
+			p.Tiles, p.Workers, p.WallSec, p.Speedup, p.InstrPerSec, p.NSPerInstr, p.Identical)
+	}
+}

@@ -26,6 +26,10 @@ type LCPCallbacks struct {
 	// Shutdown, if non-nil, is invoked when the MCP announces simulation
 	// teardown (used by worker OS processes to exit cleanly).
 	Shutdown func()
+	// SimRelease, if non-nil, is invoked when the MCP releases a
+	// LaxBarrier epoch for this process's batched waiters; the process
+	// ledger wakes the parked threads.
+	SimRelease func(epoch int64)
 }
 
 // LCP is the Local Control Program: one per host process. It executes
@@ -75,6 +79,14 @@ func (l *LCP) Serve() {
 			l.cb.Flush()
 			if _, err := l.net.Send(network.ClassSystem, MsgFlushRep, pkt.Src, pkt.Seq, nil, 0); err != nil && !errors.Is(err, transport.ErrClosed) {
 				panic("mcp: flush reply: " + err.Error())
+			}
+		case MsgSimBarrierRelease:
+			epoch64, err := DecodeU64(pkt.Payload)
+			if err != nil {
+				panic("mcp: " + err.Error())
+			}
+			if l.cb.SimRelease != nil {
+				l.cb.SimRelease(int64(epoch64))
 			}
 		case MsgShutdown:
 			// Acknowledge-then-close: the ack (carrying this process's

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/synchro"
 )
 
 // System message types (network.Packet.Type within ClassSystem).
@@ -83,6 +84,15 @@ const (
 	// teardown (acknowledge-then-close) and can report per-process wall
 	// time.
 	MsgShutdownRep
+
+	// Batched LaxBarrier epoch service: each host process's ledger
+	// forwards all of its tiles' pending waits in one MsgSimBarrierBatch
+	// (sent from the LCP endpoint); the MCP answers with one
+	// MsgSimBarrierRelease per process carrying the released epoch, and
+	// the ledger wakes the parked threads locally. A quantum costs one
+	// message per worker process instead of one RPC per tile.
+	MsgSimBarrierBatch
+	MsgSimBarrierRelease
 )
 
 // MsgName returns a human-readable message name for diagnostics.
@@ -94,6 +104,7 @@ func MsgName(t uint8) string {
 		"CondSignal", "CondBroadcast", "Malloc", "MallocRep", "Free",
 		"SimBarrier", "SimBarrierRep", "FileOp", "FileRep", "StatsGather",
 		"StatsRep", "Flush", "FlushRep", "Shutdown", "ShutdownRep",
+		"SimBarrierBatch", "SimBarrierRelease",
 	}
 	if int(t) < len(names) {
 		return names[t]
@@ -168,6 +179,43 @@ func DecodeU64(b []byte) (uint64, error) {
 		return 0, fmt.Errorf("mcp: bad u64 payload (%d bytes)", len(b))
 	}
 	return binary.LittleEndian.Uint64(b), nil
+}
+
+// SimWait is one tile's pending LaxBarrier wait inside a batch. It is
+// the ledger's EpochWait so process runtimes encode their batches with
+// no per-round conversion copy.
+type SimWait = synchro.EpochWait
+
+// EncodeSimBatch serializes a batch of barrier waits: 12 bytes per entry
+// (tile as uint32, epoch as uint64).
+func EncodeSimBatch(ws []SimWait) []byte {
+	b := make([]byte, 12*len(ws))
+	for i, w := range ws {
+		binary.LittleEndian.PutUint32(b[i*12:], uint32(int32(w.Tile)))
+		binary.LittleEndian.PutUint64(b[i*12+4:], uint64(w.Epoch))
+	}
+	return b
+}
+
+// AppendSimBatch parses a batch of barrier waits into dst (retaining
+// dst's backing array: the MCP's serve loop reuses one scratch slice
+// across batches).
+func AppendSimBatch(dst []SimWait, b []byte) ([]SimWait, error) {
+	if len(b) == 0 || len(b)%12 != 0 {
+		return nil, fmt.Errorf("mcp: bad sim batch (%d bytes)", len(b))
+	}
+	for i := 0; i < len(b)/12; i++ {
+		dst = append(dst, SimWait{
+			Tile:  arch.TileID(int32(binary.LittleEndian.Uint32(b[i*12:]))),
+			Epoch: int64(binary.LittleEndian.Uint64(b[i*12+4:])),
+		})
+	}
+	return dst, nil
+}
+
+// DecodeSimBatch parses a batch of barrier waits.
+func DecodeSimBatch(b []byte) ([]SimWait, error) {
+	return AppendSimBatch(nil, b)
 }
 
 // EncodeU64Pair serializes two uint64s (cond/mutex address pairs,

@@ -60,7 +60,11 @@ type condRec struct {
 
 type simWait struct {
 	epoch int64
-	to    replyTo
+	// batched waits arrived in a process ledger's MsgSimBarrierBatch and
+	// are released with one MsgSimBarrierRelease to that process's LCP;
+	// unbatched waits are individual MsgSimBarrier RPCs answered at `to`.
+	batched bool
+	to      replyTo
 }
 
 // Server is the Master Control Program. Exactly one exists per simulation,
@@ -82,7 +86,12 @@ type Server struct {
 	barriers map[arch.Addr]*barrierRec
 	conds    map[arch.Addr]*condRec
 
-	simWaits map[arch.TileID]*simWait
+	simWaits map[arch.TileID]simWait
+	// simBatch and releaseProcs are serve-loop scratch (one goroutine):
+	// reused across quanta so the steady-state barrier service does not
+	// allocate per round.
+	simBatch     []SimWait
+	releaseProcs map[arch.ProcID]bool
 
 	statsCh chan []stats.Tile
 	flushCh chan struct{}
@@ -100,22 +109,23 @@ type shutdownAck struct {
 // NewServer builds the MCP. net must be registered on the MCP endpoint.
 func NewServer(cfg *config.Config, net *network.Net) *Server {
 	return &Server{
-		cfg:      cfg,
-		net:      net,
-		alloc:    NewAllocator(cfg.AS.HeapBase, cfg.AS.HeapSize),
-		fs:       NewFS(),
-		threads:  make(map[arch.ThreadID]*threadRec),
-		tileBusy: make([]bool, cfg.Tiles),
-		blocked:  make(map[arch.TileID]bool),
-		mutexes:  make(map[arch.Addr]*mutexRec),
-		barriers: make(map[arch.Addr]*barrierRec),
-		conds:    make(map[arch.Addr]*condRec),
-		simWaits: make(map[arch.TileID]*simWait),
-		statsCh:  make(chan []stats.Tile, cfg.Processes),
-		flushCh:  make(chan struct{}, cfg.Processes),
-		shutCh:   make(chan shutdownAck, cfg.Processes),
-		doneCh:   make(chan struct{}),
-		stopped:  make(chan struct{}),
+		cfg:          cfg,
+		net:          net,
+		alloc:        NewAllocator(cfg.AS.HeapBase, cfg.AS.HeapSize),
+		fs:           NewFS(),
+		threads:      make(map[arch.ThreadID]*threadRec),
+		tileBusy:     make([]bool, cfg.Tiles),
+		blocked:      make(map[arch.TileID]bool),
+		mutexes:      make(map[arch.Addr]*mutexRec),
+		barriers:     make(map[arch.Addr]*barrierRec),
+		conds:        make(map[arch.Addr]*condRec),
+		simWaits:     make(map[arch.TileID]simWait),
+		releaseProcs: make(map[arch.ProcID]bool),
+		statsCh:      make(chan []stats.Tile, cfg.Processes),
+		flushCh:      make(chan struct{}, cfg.Processes),
+		shutCh:       make(chan shutdownAck, cfg.Processes),
+		doneCh:       make(chan struct{}),
+		stopped:      make(chan struct{}),
 	}
 }
 
@@ -205,6 +215,8 @@ func (s *Server) handle(pkt network.Packet) {
 		s.handleFree(pkt)
 	case MsgSimBarrier:
 		s.handleSimBarrier(pkt, to)
+	case MsgSimBarrierBatch:
+		s.handleSimBarrierBatch(pkt)
 	case MsgFileOp:
 		s.handleFileOp(pkt, to)
 	case MsgStatsRep:
@@ -471,7 +483,23 @@ func (s *Server) handleSimBarrier(pkt network.Packet, to replyTo) {
 	if err != nil {
 		panic("mcp: " + err.Error())
 	}
-	s.simWaits[pkt.Src] = &simWait{epoch: int64(epoch64), to: to}
+	s.simWaits[pkt.Src] = simWait{epoch: int64(epoch64), to: to}
+	s.recheckSimBarrier()
+}
+
+// handleSimBarrierBatch merges one process ledger's batch of waits into
+// the wait table. Entries are independent — a tile cannot have two waits
+// in flight (it stays parked until released) — so merge order across
+// batches is irrelevant.
+func (s *Server) handleSimBarrierBatch(pkt network.Packet) {
+	waits, err := AppendSimBatch(s.simBatch[:0], pkt.Payload)
+	if err != nil {
+		panic("mcp: " + err.Error())
+	}
+	s.simBatch = waits[:0]
+	for _, w := range waits {
+		s.simWaits[w.Tile] = simWait{epoch: w.Epoch, batched: true}
+	}
 	s.recheckSimBarrier()
 }
 
@@ -479,7 +507,8 @@ func (s *Server) handleSimBarrier(pkt network.Packet, to replyTo) {
 // every running, unblocked thread is waiting on the barrier. Threads
 // blocked in MCP services (mutex queues, joins, condition waits) are not
 // advancing their clocks and are excluded, which keeps the quanta barrier
-// deadlock-free.
+// deadlock-free. Batched waiters are released with one notification per
+// host process; direct RPC waiters get individual replies.
 func (s *Server) recheckSimBarrier() {
 	if len(s.simWaits) == 0 {
 		return
@@ -494,10 +523,23 @@ func (s *Server) recheckSimBarrier() {
 			min = w.epoch
 		}
 	}
+	procs := s.releaseProcs
+	clear(procs)
 	for tile, w := range s.simWaits {
-		if w.epoch == min {
+		if w.epoch != min {
+			continue
+		}
+		if w.batched {
+			procs[s.cfg.ProcOf(tile)] = true
+		} else {
 			s.reply(MsgSimBarrierRep, w.to, nil, 0)
-			delete(s.simWaits, tile)
+		}
+		delete(s.simWaits, tile)
+	}
+	for proc := range procs {
+		dst := arch.TileID(transport.LCP(proc))
+		if _, err := s.net.Send(network.ClassSystem, MsgSimBarrierRelease, dst, 0, EncodeU64(uint64(min)), 0); err != nil && !errors.Is(err, transport.ErrClosed) {
+			panic("mcp: barrier release failed: " + err.Error())
 		}
 	}
 }

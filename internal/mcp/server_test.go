@@ -323,6 +323,82 @@ func TestSimBarrierExcludesBlockedThreads(t *testing.T) {
 	}
 }
 
+func TestSimBarrierBatchReleasesViaLCP(t *testing.T) {
+	h := newHarness(t, 2)
+	h.srv.StartMain(0)
+	h.lcp.Recv(network.ClassSystem)
+	h.send(0, MsgSpawn, EncodeSpawnReq(SpawnReq{Func: 1}), 0)
+	h.recv(t, 0)
+	h.lcp.Recv(network.ClassSystem)
+	// The process ledger forwards both tiles' waits in one batch; the MCP
+	// answers the whole process with a single release of the min epoch.
+	batch := []SimWait{{Tile: 0, Epoch: 5}, {Tile: 1, Epoch: 3}}
+	if _, err := h.lcp.Send(network.ClassSystem, MsgSimBarrierBatch, arch.TileID(transport.MCP), 0, EncodeSimBatch(batch), 0); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := h.lcp.Recv(network.ClassSystem)
+	if rel.Type != MsgSimBarrierRelease {
+		t.Fatalf("reply type %s", MsgName(rel.Type))
+	}
+	if e, _ := DecodeU64(rel.Payload); e != 3 {
+		t.Fatalf("released epoch %d, want 3", e)
+	}
+	// Tile 1 (released) advances and waits again at 5: now both pending
+	// waits share the min epoch and one release covers them.
+	batch = []SimWait{{Tile: 1, Epoch: 5}}
+	if _, err := h.lcp.Send(network.ClassSystem, MsgSimBarrierBatch, arch.TileID(transport.MCP), 0, EncodeSimBatch(batch), 0); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ = h.lcp.Recv(network.ClassSystem)
+	if e, _ := DecodeU64(rel.Payload); rel.Type != MsgSimBarrierRelease || e != 5 {
+		t.Fatalf("second release = type %s epoch %d, want epoch 5", MsgName(rel.Type), e)
+	}
+}
+
+func TestSimBarrierBatchMixesWithDirectWaits(t *testing.T) {
+	h := newHarness(t, 2)
+	h.srv.StartMain(0)
+	h.lcp.Recv(network.ClassSystem)
+	h.send(0, MsgSpawn, EncodeSpawnReq(SpawnReq{Func: 1}), 0)
+	h.recv(t, 0)
+	h.lcp.Recv(network.ClassSystem)
+	// Tile 0 waits via the legacy per-tile RPC, tile 1 via a batch: the
+	// release must answer each through its own path.
+	h.send(0, MsgSimBarrier, EncodeU64(2), 2000)
+	if _, err := h.lcp.Send(network.ClassSystem, MsgSimBarrierBatch, arch.TileID(transport.MCP), 0, EncodeSimBatch([]SimWait{{Tile: 1, Epoch: 2}}), 0); err != nil {
+		t.Fatal(err)
+	}
+	if rep := h.recv(t, 0); rep.Type != MsgSimBarrierRep {
+		t.Fatalf("direct waiter got %s", MsgName(rep.Type))
+	}
+	rel, _ := h.lcp.Recv(network.ClassSystem)
+	if e, _ := DecodeU64(rel.Payload); rel.Type != MsgSimBarrierRelease || e != 2 {
+		t.Fatalf("batched waiter got type %s epoch %d", MsgName(rel.Type), e)
+	}
+}
+
+func TestSimBatchCodecRoundTrip(t *testing.T) {
+	in := []SimWait{{Tile: 0, Epoch: 1}, {Tile: 1023, Epoch: 1 << 40}, {Tile: 7, Epoch: 0}}
+	out, err := DecodeSimBatch(EncodeSimBatch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	if _, err := DecodeSimBatch([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, err := DecodeSimBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
 func TestMallocExhaustionRepliesZero(t *testing.T) {
 	h := newHarness(t, 2)
 	h.send(0, MsgMalloc, EncodeU64(1<<62), 10)

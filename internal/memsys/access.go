@@ -90,18 +90,18 @@ func (n *Node) accessOwned(addr arch.Addr, seg []byte, isWrite, ifetch bool, now
 			l1 = n.l1i
 		}
 		if l1 != nil {
-			if ln := l1.Lookup(line); ln != nil {
-				copy(seg, ln.Data[off:off+len(seg)])
+			if ln, ok := l1.Lookup(line); ok {
+				copy(seg, ln.Data()[off:off+len(seg)])
 				return AccessResult{Latency: l1.HitLatency()}
 			}
 		}
 		// L1 miss (or no L1): L2.
-		if ln := n.l2.Lookup(line); ln != nil {
-			copy(seg, ln.Data[off:off+len(seg)])
+		if ln, ok := n.l2.Lookup(line); ok {
+			copy(seg, ln.Data()[off:off+len(seg)])
 			lat := n.l2.HitLatency()
 			if l1 != nil {
 				lat += l1.HitLatency()
-				l1.Insert(line, cache.Shared, ln.Data) // silent L1 fill
+				l1.Insert(line, cache.Shared, ln.Data()) // silent L1 fill
 			}
 			return AccessResult{Latency: lat}
 		}
@@ -111,8 +111,8 @@ func (n *Node) accessOwned(addr arch.Addr, seg []byte, isWrite, ifetch bool, now
 
 	// Stores: need Modified at L2 (write-through L1).
 	n.st.Stores++
-	if ln := n.l2.Lookup(line); ln != nil {
-		if ln.State == cache.Modified {
+	if ln, ok := n.l2.Lookup(line); ok {
+		if ln.State() == cache.Modified {
 			n.applyWrite(ln, line, off, seg, cache.WordMask(off, len(seg), n.lineSize))
 			return AccessResult{Latency: n.l2.HitLatency()}
 		}
@@ -173,7 +173,7 @@ func (n *Node) miss(line cache.LineAddr, off int, seg []byte, isWrite, ifetch bo
 	if isWrite {
 		typ = msgExReq
 		pr.wbuf = seg
-		if ln := n.l2.Peek(line); ln != nil && ln.State == cache.Shared {
+		if ln, ok := n.l2.Peek(line); ok && ln.State() == cache.Shared {
 			req.flags |= flagUpgrade
 		}
 	} else {
@@ -257,14 +257,14 @@ func (n *Node) finishMiss(pr *pendingReq, pkt network.Packet) missInfo {
 func (n *Node) applyGrant(line cache.LineAddr, off int, seg []byte, mask uint64, isWrite, ifetch bool, g grantInfo) {
 	switch g.typ {
 	case msgUpgRep:
-		ln := n.l2.Peek(line)
-		if ln == nil {
+		ln, ok := n.l2.Peek(line)
+		if !ok {
 			// Home serializes per line: nothing can invalidate our copy
 			// between the upgrade grant and its arrival (an invalidation
 			// racing the upgrade demotes it to a full ExRep instead).
 			panic("memsys: upgrade grant for absent line")
 		}
-		ln.State = cache.Modified
+		ln.SetState(cache.Modified)
 		n.applyWrite(ln, line, off, seg, mask)
 		n.st.Upgrades++
 	case msgShRep, msgExRep:
@@ -275,12 +275,12 @@ func (n *Node) applyGrant(line cache.LineAddr, off int, seg []byte, mask uint64,
 		if victim, evicted := n.l2.Insert(line, st, g.data); evicted {
 			n.processVictim(victim, g.arrival)
 		}
-		ln := n.l2.Peek(line)
+		ln, _ := n.l2.Peek(line)
 		if isWrite {
 			n.applyWrite(ln, line, off, seg, mask)
 		} else {
-			copy(seg, ln.Data[off:off+len(seg)])
-			n.fillL1(line, ifetch, ln.Data)
+			copy(seg, ln.Data()[off:off+len(seg)])
+			n.fillL1(line, ifetch, ln.Data())
 		}
 		if ifetch {
 			n.st.IFetchMisses++
@@ -327,15 +327,15 @@ func (n *Node) localMiss(line cache.LineAddr, off int, seg []byte, mask uint64, 
 	sh := n.shardFor(line)
 	sh.mu.Lock()
 	dl := sh.dirLineOf(n, line)
-	e := &dl.entry
-	if dl.busy != nil || e.Owner != arch.InvalidTile {
+	e := dl.entry
+	if dl.busy != nil || e.Owner() != arch.InvalidTile {
 		sh.mu.Unlock()
 		return AccessResult{}, false
 	}
 	upgrade := false
 	if isWrite {
 		foreign := false
-		e.Sharers.ForEach(func(s arch.TileID) {
+		e.ForEachSharer(func(s arch.TileID) {
 			if s != n.tile {
 				foreign = true
 			}
@@ -344,8 +344,8 @@ func (n *Node) localMiss(line cache.LineAddr, off int, seg []byte, mask uint64, 
 			sh.mu.Unlock()
 			return AccessResult{}, false
 		}
-		if ln := n.l2.Peek(line); ln != nil && ln.State == cache.Shared {
-			upgrade = e.Sharers.Contains(n.tile)
+		if ln, ok := n.l2.Peek(line); ok && ln.State() == cache.Shared {
+			upgrade = e.ContainsSharer(n.tile)
 		}
 	}
 
@@ -357,20 +357,20 @@ func (n *Node) localMiss(line cache.LineAddr, off int, seg []byte, mask uint64, 
 	reqArr := sendAt + n.net.Delay(network.ClassMemory, n.tile, reqPayloadLen, sendAt)
 	n.net.Observe(reqArr)
 	t := reqArr + n.cfg.Coherence.DirLatency
-	writer, wmask := e.LastWriter, e.LastWriterMask
+	writer, wmask := e.LastWriter(), e.LastWriterMask()
 
 	g := grantInfo{writer: writer, wmask: wmask, sentAt: sendAt}
 	repLen := dataPayloadLen
 	if !isWrite {
-		e.Sharers.Add(n.tile) // full map: never evicts, never traps
+		e.AddSharer(n.tile) // full map: never evicts, never traps
 		t += n.dramRead(uint64(line), n.localGrant, t)
 		g.typ = msgShRep
 		g.data = n.localGrant
 		repLen += n.lineSize
 	} else {
-		e.Sharers.Clear()
-		e.LastWriter = n.tile
-		e.LastWriterMask = mask
+		e.ClearSharers()
+		e.SetLastWriter(n.tile)
+		e.SetLastWriterMask(mask)
 		if upgrade {
 			g.typ = msgUpgRep
 		} else {
@@ -379,7 +379,7 @@ func (n *Node) localMiss(line cache.LineAddr, off int, seg []byte, mask uint64, 
 			g.data = n.localGrant
 			repLen += n.lineSize
 		}
-		e.Owner = n.tile
+		e.SetOwner(n.tile)
 	}
 	repArr := t + n.net.Delay(network.ClassMemory, n.tile, repLen, t)
 	n.net.Observe(repArr)
@@ -410,21 +410,21 @@ func (n *Node) FlushAll(now arch.Cycles) {
 	// encoded straight out of cache storage — the wire frame copies it —
 	// so no per-line clone is needed.
 	n.flushMeta = n.flushMeta[:0]
-	n.l2.ForEach(func(l *cache.Line) {
-		n.flushMeta = append(n.flushMeta, flushVictim{addr: l.Addr, state: l.State})
+	n.l2.ForEach(func(l cache.Line) {
+		n.flushMeta = append(n.flushMeta, flushVictim{addr: l.Addr(), state: l.State()})
 	})
 	for _, v := range n.flushMeta {
 		home := n.homeOf(v.addr)
 		if v.state == cache.Modified {
-			ln := n.l2.Peek(v.addr)
-			vic := cache.Line{Addr: v.addr, State: v.state, WriteMask: ln.WriteMask, Data: ln.Data}
+			ln, _ := n.l2.Peek(v.addr)
+			vic := cache.Victim{Addr: v.addr, State: v.state, WriteMask: ln.WriteMask(), Data: ln.Data()}
 			if home != n.tile || !n.localEvict(vic, now) {
 				n.outstandingWB.Add(1)
-				pay := dataPayload{line: uint64(v.addr), mask: ln.WriteMask, writer: n.tile, flags: flagHasData, data: ln.Data}
+				pay := dataPayload{line: uint64(v.addr), mask: ln.WriteMask(), writer: n.tile, flags: flagHasData, data: ln.Data()}
 				n.send(msgEvictM, home, 0, n.coreEncData(pay), now)
 			}
 		} else {
-			if home != n.tile || !n.localEvict(cache.Line{Addr: v.addr, State: v.state}, now) {
+			if home != n.tile || !n.localEvict(cache.Victim{Addr: v.addr, State: v.state}, now) {
 				n.send(msgEvictS, home, 0, n.coreEncLine(uint64(v.addr)), now)
 			}
 		}

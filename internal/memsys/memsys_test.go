@@ -535,3 +535,43 @@ func TestMsgNames(t *testing.T) {
 		t.Fatal("unknown message name")
 	}
 }
+
+// TestHitPathZeroAllocAt256Tiles pins the steady-state allocation budget
+// of the lock-free hit path at a 256-tile geometry: once a line is cached
+// locally, reads and writes must index the structure-of-arrays cache and
+// directory state without allocating per access. A regression here turns
+// every simulated memory reference into garbage-collector work, which at
+// thousand-tile scale dominates the run.
+func TestHitPathZeroAllocAt256Tiles(t *testing.T) {
+	c := newCluster(t, testConfig(256))
+	n := c.nodes[0]
+	buf := make([]byte, 8)
+	// Warm: the write takes the line Modified in the local L1D, so every
+	// access below is a pure hit.
+	n.Write(0x9000, buf, 0)
+	n.Read(0x9000, buf, 100)
+	now := arch.Cycles(200)
+	allocs := testing.AllocsPerRun(1000, func() {
+		n.Read(0x9000, buf, now)
+		n.Write(0x9000, buf, now+1)
+		now += 2
+	})
+	if allocs != 0 {
+		t.Fatalf("hit path allocates %.1f objects per access pair, want 0", allocs)
+	}
+}
+
+// BenchmarkLocalHitPath256 drives the same steady-state hit path for
+// profiling (-benchmem / -memprofile should show zero per-access
+// allocations).
+func BenchmarkLocalHitPath256(b *testing.B) {
+	c := newCluster(b, testConfig(256))
+	n := c.nodes[0]
+	buf := make([]byte, 8)
+	n.Write(0x9000, buf, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Read(0x9000, buf, arch.Cycles(i))
+	}
+}

@@ -34,12 +34,13 @@ type pendingReq struct {
 	done    chan network.Packet
 }
 
-// dirLine is the home-side state of one line: the directory entry, the
-// in-flight transaction if any, and requests queued behind it. The entry
-// is embedded (not pointed to) so a line's home state costs one allocation
-// for its whole lifetime.
+// dirLine is the home-side state of one line: a handle into the shard's
+// directory-entry arena, the in-flight transaction if any, and requests
+// queued behind it. Entry state lives in the shard's structure-of-arrays
+// Store (one bulk allocation per growth step, contiguous sharer words)
+// rather than embedded per line.
 type dirLine struct {
-	entry   directory.Entry
+	entry   directory.Ref
 	busy    *txn
 	pending []network.Packet
 }
@@ -54,6 +55,9 @@ type dirLine struct {
 type dirShard struct {
 	mu    sync.Mutex
 	lines map[cache.LineAddr]*dirLine
+	// store is the shard's directory-entry arena (structure-of-arrays);
+	// dirLine.entry handles index into it. Guarded by mu.
+	store *directory.Store
 	// homeSeq numbers this shard's home-side sub-requests (Inv/Wb/Flush).
 	// Replies carry it back; a per-shard counter is unambiguous because
 	// replies are matched per line and lines never change shards.
@@ -262,6 +266,7 @@ func NewNode(tile arch.TileID, cfg *config.Config, net *network.Net, progress *c
 	n.localGrant = make([]byte, n.lineSize)
 	for i := range n.shards {
 		n.shards[i].lines = make(map[cache.LineAddr]*dirLine)
+		n.shards[i].store = directory.NewStore(cfg.Coherence, cfg.Tiles, 0)
 	}
 	n.st.TileID = tile
 	if cfg.L1I.Enabled {

@@ -277,6 +277,47 @@ func TestLockFreeHitPathUnderInvalidationStorm(t *testing.T) {
 	}
 }
 
+// TestManySharerInvalidationStormSoA exercises the structure-of-arrays
+// directory beyond one sharer word: 72 tiles (a two-word full-map bit
+// vector) all read the same line concurrently, then one writer upgrades
+// and must invalidate every other sharer found by the stride-2 bitset
+// walk. Under -race the concurrent readers hammer the SoA cache handles
+// and the shared directory shard; the exact invalidation count proves no
+// sharer bit in either word is lost or double-counted across rounds.
+func TestManySharerInvalidationStormSoA(t *testing.T) {
+	const tiles = 72
+	const rounds = 20
+	c := newCluster(t, testConfig(tiles))
+	addr := arch.Addr(0x660000)
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for tile := 0; tile < tiles; tile++ {
+			wg.Add(1)
+			go func(tile int) {
+				defer wg.Done()
+				var b [8]byte
+				c.nodes[tile].Read(addr, b[:], arch.Cycles(r*100))
+				if got := binary.LittleEndian.Uint64(b[:]); got != uint64(r) {
+					t.Errorf("round %d tile %d read %d", r, tile, got)
+				}
+			}(tile)
+		}
+		wg.Wait()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(r+1))
+		c.nodes[0].Write(addr, b[:], arch.Cycles(r*100+50))
+	}
+	var invs uint64
+	for _, n := range c.nodes {
+		invs += n.Stats().InvSent
+	}
+	// Every round all 72 tiles hold S copies when tile 0 upgrades: 71
+	// invalidations, every one discovered in the two-word sharer vector.
+	if want := uint64(rounds * (tiles - 1)); invs != want {
+		t.Fatalf("invalidations sent = %d, want %d", invs, want)
+	}
+}
+
 // TestPeekPokeStraddlesLines exercises the functional path across line
 // and home boundaries.
 func TestPeekPokeStraddlesLines(t *testing.T) {

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cache"
-	"repro/internal/directory"
 	"repro/internal/network"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -133,7 +132,7 @@ func (n *Node) dispatch(pkt network.Packet) (chan network.Packet, network.Packet
 		sh := n.shardFor(cache.LineAddr(line))
 		sh.mu.Lock()
 		if dl := sh.lines[cache.LineAddr(line)]; dl != nil {
-			dl.entry.Sharers.Remove(pkt.Src)
+			dl.entry.RemoveSharer(pkt.Src)
 		}
 		sh.mu.Unlock()
 	case msgEvictM:
@@ -205,7 +204,7 @@ func (sh *dirShard) dirLineOf(n *Node, l cache.LineAddr) *dirLine {
 		}
 		dl = &sh.slab[0]
 		sh.slab = sh.slab[1:]
-		directory.InitEntry(&dl.entry, n.cfg.Coherence, n.cfg.Tiles)
+		dl.entry = sh.store.Alloc()
 		sh.lines[l] = dl
 	}
 	return dl
@@ -243,7 +242,7 @@ func (n *Node) handleRequest(sh *dirShard, pkt network.Packet, req reqPayload) {
 }
 
 func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPayload) {
-	e := &dl.entry
+	e := dl.entry
 	t := pkt.Time + n.cfg.Coherence.DirLatency
 	sh.homeSeq++
 	tx := sh.getTxn()
@@ -262,11 +261,11 @@ func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPa
 	}
 
 	if pkt.Type == msgShReq {
-		if e.Owner != arch.InvalidTile && e.Owner != pkt.Src {
+		if e.Owner() != arch.InvalidTile && e.Owner() != pkt.Src {
 			// Downgrade the Modified owner and collect its data.
 			tx.waitData = true
-			tx.dataFrom = e.Owner
-			n.sendSrv(msgWbReq, e.Owner, tx.homeSeq, n.srvEncLine(req.line), t)
+			tx.dataFrom = e.Owner()
+			n.sendSrv(msgWbReq, e.Owner(), tx.homeSeq, n.srvEncLine(req.line), t)
 			dl.busy = tx
 			return
 		}
@@ -278,20 +277,20 @@ func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPa
 	}
 
 	// ExReq.
-	if e.Owner != arch.InvalidTile && e.Owner != pkt.Src {
+	if e.Owner() != arch.InvalidTile && e.Owner() != pkt.Src {
 		tx.waitData = true
-		tx.dataFrom = e.Owner
-		n.sendSrv(msgFlushReq, e.Owner, tx.homeSeq, n.srvEncLine(req.line), t)
+		tx.dataFrom = e.Owner()
+		n.sendSrv(msgFlushReq, e.Owner(), tx.homeSeq, n.srvEncLine(req.line), t)
 		dl.busy = tx
 		return
 	}
 	// The upgrade is only valid if the requester still holds its S copy.
-	tx.upgrade = tx.upgrade && e.Sharers.Contains(pkt.Src)
-	if e.Sharers.InvTrap() {
+	tx.upgrade = tx.upgrade && e.ContainsSharer(pkt.Src)
+	if e.InvTrap() {
 		tx.trapExtra += n.cfg.Coherence.TrapLatency
 		sh.dirTraps++
 	}
-	e.Sharers.ForEach(func(s arch.TileID) {
+	e.ForEachSharer(func(s arch.TileID) {
 		if s == pkt.Src {
 			return
 		}
@@ -299,7 +298,7 @@ func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPa
 		sh.invSent++
 		n.sendSrv(msgInvReq, s, tx.homeSeq, n.srvEncLine(req.line), t)
 	})
-	e.Sharers.Clear()
+	e.ClearSharers()
 	if tx.waitAcks > 0 {
 		dl.busy = tx
 		return
@@ -310,7 +309,7 @@ func (n *Node) startTxn(sh *dirShard, dl *dirLine, pkt network.Packet, req reqPa
 // completeTxn grants the request, replies to the requester, and recycles
 // the transaction record.
 func (n *Node) completeTxn(sh *dirShard, dl *dirLine, tx *txn, now arch.Cycles) {
-	e := &dl.entry
+	e := dl.entry
 	t := now
 	if tx.latest > t {
 		t = tx.latest
@@ -318,8 +317,8 @@ func (n *Node) completeTxn(sh *dirShard, dl *dirLine, tx *txn, now arch.Cycles) 
 	t += tx.trapExtra
 	payload := dataPayload{
 		line:   uint64(tx.line),
-		mask:   e.LastWriterMask,
-		writer: e.LastWriter,
+		mask:   e.LastWriterMask(),
+		writer: e.LastWriter(),
 	}
 
 	if tx.reqType == msgShReq {
@@ -327,7 +326,7 @@ func (n *Node) completeTxn(sh *dirShard, dl *dirLine, tx *txn, now arch.Cycles) 
 		// may reclaim a pointer: the displaced sharer must be invalidated
 		// before the grant, or it would retain a copy the directory no
 		// longer knows about — unreachable by later invalidations.
-		evict, trap := e.Sharers.Add(tx.requester)
+		evict, trap := e.AddSharer(tx.requester)
 		if trap {
 			tx.trapExtra += n.cfg.Coherence.TrapLatency
 			sh.dirTraps++
@@ -354,10 +353,10 @@ func (n *Node) completeTxn(sh *dirShard, dl *dirLine, tx *txn, now arch.Cycles) 
 		payload.data = buf
 		n.sendSrv(msgShRep, tx.requester, tx.reqSeq, n.srvEncData(payload), t)
 	} else {
-		e.LastWriter = tx.requester
-		e.LastWriterMask = tx.reqMask
+		e.SetLastWriter(tx.requester)
+		e.SetLastWriterMask(tx.reqMask)
 		if tx.upgrade && !tx.haveData {
-			e.Owner = tx.requester
+			e.SetOwner(tx.requester)
 			n.sendSrv(msgUpgRep, tx.requester, tx.reqSeq, n.srvEncData(payload), t)
 		} else {
 			buf := n.grantBuf
@@ -367,7 +366,7 @@ func (n *Node) completeTxn(sh *dirShard, dl *dirLine, tx *txn, now arch.Cycles) 
 			} else {
 				t += n.dramRead(uint64(tx.line), buf, t)
 			}
-			e.Owner = tx.requester
+			e.SetOwner(tx.requester)
 			payload.flags |= flagHasData
 			payload.data = buf
 			n.sendSrv(msgExRep, tx.requester, tx.reqSeq, n.srvEncData(payload), t)
@@ -404,7 +403,7 @@ func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) 
 	if pkt.Time > tx.latest {
 		tx.latest = pkt.Time
 	}
-	e := &dl.entry
+	e := dl.entry
 	switch pkt.Type {
 	case msgInvRep:
 		tx.waitAcks--
@@ -423,18 +422,18 @@ func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) 
 		tx.haveData = true
 		tx.data = append(tx.data[:0], p.data...)
 		tx.dataMask = p.mask
-		e.Owner = arch.InvalidTile
+		e.SetOwner(arch.InvalidTile)
 		// The former owner retains a Shared copy. An M line has no other
 		// sharers, so the pointer set cannot overflow here; handle an
 		// eviction anyway so a future protocol variant cannot silently
 		// leak an untracked sharer.
-		if evict, _ := e.Sharers.Add(pkt.Src); evict != arch.InvalidTile && evict != pkt.Src {
+		if evict, _ := e.AddSharer(pkt.Src); evict != arch.InvalidTile && evict != pkt.Src {
 			tx.waitAcks++
 			sh.invSent++
 			n.sendSrv(msgInvReq, evict, tx.homeSeq, n.srvEncLine(p.line), pkt.Time)
 		}
-		e.LastWriter = pkt.Src
-		e.LastWriterMask = p.mask
+		e.SetLastWriter(pkt.Src)
+		e.SetLastWriterMask(p.mask)
 	case msgFlushRep:
 		if p.flags&flagNotPresent != 0 {
 			panic("memsys: FlushRep(notPresent) for open transaction")
@@ -443,9 +442,9 @@ func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) 
 		tx.haveData = true
 		tx.data = append(tx.data[:0], p.data...)
 		tx.dataMask = p.mask
-		e.Owner = arch.InvalidTile
-		e.LastWriter = pkt.Src
-		e.LastWriterMask = p.mask
+		e.SetOwner(arch.InvalidTile)
+		e.SetLastWriter(pkt.Src)
+		e.SetLastWriterMask(p.mask)
 	}
 	if tx.waitAcks == 0 && !tx.waitData {
 		n.completeTxn(sh, dl, tx, tx.latest)
@@ -459,7 +458,7 @@ func (n *Node) handleHomeReply(sh *dirShard, pkt network.Packet, p dataPayload) 
 func (n *Node) handleEvictM(sh *dirShard, pkt network.Packet, p dataPayload) {
 	n.sendSrv(msgEvictAck, pkt.Src, pkt.Seq, n.srvEncLine(p.line), pkt.Time)
 	dl := sh.dirLineOf(n, cache.LineAddr(p.line))
-	e := &dl.entry
+	e := dl.entry
 	n.dramWrite(p.line, p.data, pkt.Time)
 	if dl.busy != nil && dl.busy.waitData && dl.busy.dataFrom == pkt.Src {
 		tx := dl.busy
@@ -470,18 +469,18 @@ func (n *Node) handleEvictM(sh *dirShard, pkt network.Packet, p dataPayload) {
 		if pkt.Time > tx.latest {
 			tx.latest = pkt.Time
 		}
-		e.Owner = arch.InvalidTile
-		e.LastWriter = pkt.Src
-		e.LastWriterMask = p.mask
+		e.SetOwner(arch.InvalidTile)
+		e.SetLastWriter(pkt.Src)
+		e.SetLastWriterMask(p.mask)
 		if tx.waitAcks == 0 {
 			n.completeTxn(sh, dl, tx, tx.latest)
 		}
 		return
 	}
-	if e.Owner == pkt.Src {
-		e.Owner = arch.InvalidTile
-		e.LastWriter = pkt.Src
-		e.LastWriterMask = p.mask
+	if e.Owner() == pkt.Src {
+		e.SetOwner(arch.InvalidTile)
+		e.SetLastWriter(pkt.Src)
+		e.SetLastWriterMask(p.mask)
 	}
 }
 
@@ -503,12 +502,12 @@ func (n *Node) applyIntervention(pkt network.Packet, srv bool) {
 	switch pkt.Type {
 	case msgInvReq:
 		typ = msgInvRep
-		if ln, ok := n.l2.Invalidate(l); ok {
-			if ln.State == cache.Modified {
+		if v, ok := n.l2.Invalidate(l); ok {
+			if v.State == cache.Modified {
 				// Defensive: should have been a FlushReq.
 				pay.flags |= flagHasData
-				pay.mask = ln.WriteMask
-				pay.data = ln.Data
+				pay.mask = v.WriteMask
+				pay.data = v.Data
 			}
 			n.invL1(l)
 			n.markInvalidated(l)
@@ -517,20 +516,20 @@ func (n *Node) applyIntervention(pkt network.Packet, srv bool) {
 		}
 	case msgWbReq:
 		typ = msgWbRep
-		if ln := n.l2.Peek(l); ln != nil {
+		if ln, ok := n.l2.Peek(l); ok {
 			pay.flags |= flagHasData
-			pay.mask = ln.WriteMask
-			pay.data = ln.Data // copied by the payload encoder below
+			pay.mask = ln.WriteMask()
+			pay.data = ln.Data() // copied by the payload encoder below
 			n.l2.Downgrade(l)
 		} else {
 			pay.flags |= flagNotPresent
 		}
 	case msgFlushReq:
 		typ = msgFlushRep
-		if ln, ok := n.l2.Invalidate(l); ok {
+		if v, ok := n.l2.Invalidate(l); ok {
 			pay.flags |= flagHasData
-			pay.mask = ln.WriteMask
-			pay.data = ln.Data
+			pay.mask = v.WriteMask
+			pay.data = v.Data
 			n.invL1(l)
 			n.markInvalidated(l)
 		} else {
@@ -548,13 +547,13 @@ func (n *Node) applyIntervention(pkt network.Packet, srv bool) {
 
 // applyWrite stores a write into a Modified L2 line and keeps the
 // write-through L1D copy coherent. Core context only.
-func (n *Node) applyWrite(ln *cache.Line, line cache.LineAddr, off int, wbuf []byte, mask uint64) {
-	copy(ln.Data[off:], wbuf)
-	ln.Dirty = true
-	ln.WriteMask |= mask
+func (n *Node) applyWrite(ln cache.Line, line cache.LineAddr, off int, wbuf []byte, mask uint64) {
+	copy(ln.Data()[off:], wbuf)
+	ln.SetDirty(true)
+	ln.OrWriteMask(mask)
 	if n.l1d != nil {
-		if l1 := n.l1d.Peek(line); l1 != nil {
-			copy(l1.Data[off:], wbuf)
+		if l1, ok := n.l1d.Peek(line); ok {
+			copy(l1.Data()[off:], wbuf)
 		}
 	}
 }
@@ -593,7 +592,7 @@ func (n *Node) classify(line cache.LineAddr, mask uint64, writer arch.TileID, wm
 // context, so the notification is sent immediately — per-sender FIFO
 // orders it ahead of any later miss the core issues for the same line.
 // Locally homed victims are applied inline when safe (localEvict).
-func (n *Node) processVictim(victim cache.Line, now arch.Cycles) {
+func (n *Node) processVictim(victim cache.Victim, now arch.Cycles) {
 	n.invL1(victim.Addr)
 	home := n.homeOf(victim.Addr)
 	if home == n.tile && n.localEvict(victim, now) {
@@ -621,7 +620,7 @@ func (n *Node) processVictim(victim cache.Line, now arch.Cycles) {
 // function must therefore touch only shard-guarded state, the atomic
 // selfInflight word, and the DRAM domain, never the mailbox or the
 // pending slot.
-func (n *Node) localEvict(victim cache.Line, now arch.Cycles) bool {
+func (n *Node) localEvict(victim cache.Victim, now arch.Cycles) bool {
 	if n.selfInflight.Load() != 0 {
 		return false
 	}
@@ -634,7 +633,7 @@ func (n *Node) localEvict(victim cache.Line, now arch.Cycles) bool {
 			if dl.busy != nil {
 				return false
 			}
-			dl.entry.Sharers.Remove(n.tile)
+			dl.entry.RemoveSharer(n.tile)
 		}
 		n.net.Observe(now + n.net.Delay(network.ClassMemory, n.tile, linePayloadLen, now))
 		return true
@@ -646,11 +645,11 @@ func (n *Node) localEvict(victim cache.Line, now arch.Cycles) bool {
 	arr := now + n.net.Delay(network.ClassMemory, n.tile, dataPayloadLen+len(victim.Data), now)
 	n.net.Observe(arr)
 	n.dramWrite(uint64(victim.Addr), victim.Data, arr)
-	e := &dl.entry
-	if e.Owner == n.tile {
-		e.Owner = arch.InvalidTile
-		e.LastWriter = n.tile
-		e.LastWriterMask = victim.WriteMask
+	e := dl.entry
+	if e.Owner() == n.tile {
+		e.SetOwner(arch.InvalidTile)
+		e.SetLastWriter(n.tile)
+		e.SetLastWriterMask(victim.WriteMask)
 	}
 	// Mirror the EvictAck delivery the messaged path would have produced.
 	n.net.Observe(arr + n.net.Delay(network.ClassMemory, n.tile, linePayloadLen, arr))

@@ -60,7 +60,9 @@ type pktQueue struct {
 }
 
 func newPktQueue() *pktQueue {
-	q := &pktQueue{}
+	// Start at the steady-state minimum ring size: the first packets of a
+	// run then never trigger a growth step.
+	q := &pktQueue{buf: make([]Packet, 16)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }

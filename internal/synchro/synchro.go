@@ -11,12 +11,33 @@
 package synchro
 
 import (
-	"math/rand"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/config"
 )
+
+// prng is a splitmix64 generator owned by one model. LaxP2P previously
+// drew partner picks from a math/rand.Rand per model; splitmix64 keeps
+// the per-model ownership (no locks, no shared global source) in eight
+// lines of arithmetic, and its full-period 64-bit state cannot degenerate
+// for any seed — including zero.
+type prng struct{ state uint64 }
+
+func newPRNG(seed int64) *prng { return &prng{state: uint64(seed)} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). Partner selection needs uniformity only
+// to balance probe load, so the negligible modulo bias (n is a tile
+// count, far below 2^63) is acceptable.
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
 
 // Model is one synchronization scheme, owned by a single thread.
 type Model interface {
@@ -75,7 +96,7 @@ type p2p struct {
 	cfg   config.SyncConfig
 	self  arch.TileID
 	tiles int
-	rng   *rand.Rand
+	rng   *prng
 	probe ProbeFunc
 	sleep func(time.Duration)
 	// start/base anchor the rate measurement: the wall-clock time and the
@@ -103,7 +124,7 @@ func NewP2P(cfg config.SyncConfig, self arch.TileID, tiles int, seed int64, prob
 		cfg:    cfg,
 		self:   self,
 		tiles:  tiles,
-		rng:    rand.New(rand.NewSource(seed ^ int64(self)*0x5851F42D4C957F2D)),
+		rng:    newPRNG(seed ^ int64(self)*0x5851F42D4C957F2D),
 		probe:  probe,
 		sleep:  sleep,
 		nowFn:  time.Now,
@@ -127,7 +148,7 @@ func (p *p2p) Tick(now arch.Cycles) {
 		return
 	}
 	p.last = now
-	target := arch.TileID(p.rng.Intn(p.tiles - 1))
+	target := arch.TileID(p.rng.intn(p.tiles - 1))
 	if target >= p.self {
 		target++
 	}

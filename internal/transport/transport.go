@@ -126,7 +126,10 @@ type mailbox struct {
 }
 
 func newMailbox(id EndpointID) *mailbox {
-	m := &mailbox{id: id}
+	// The ring starts at its steady-state minimum so the first messages of
+	// a simulation don't each pay a growth step; construction of all
+	// mailboxes is one allocation sweep instead of load-triggered regrowth.
+	m := &mailbox{id: id, buf: make([][]byte, 16)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -239,18 +242,38 @@ func (m *mailbox) Close() error {
 // ChannelFabric is an in-memory fabric shared by every simulated process
 // of one simulation. Create it once, then hand each process its Transport
 // via Process.
+//
+// Tile mailboxes (non-negative endpoint IDs) live in a dense array, sized
+// up front when the tile count is known (NewChannelFabricSized): every
+// send then resolves its destination with an array index instead of a
+// hash lookup, and constructing a thousand-tile simulation performs one
+// slice allocation rather than growing a map through its rehash
+// schedule. The handful of control endpoints (MCP, LCPs — negative IDs)
+// stay in a small map off the hot path.
 type ChannelFabric struct {
 	mu    sync.RWMutex
-	boxes map[EndpointID]*mailbox
+	tiles []*mailbox              // dense, indexed by tile endpoint ID
+	ctrl  map[EndpointID]*mailbox // MCP and LCPs (negative IDs)
 	route RouteFunc
 	done  bool
 }
 
 // NewChannelFabric creates a fabric using the given routing map. The map
 // is consulted only to enforce registration ownership; in-memory delivery
-// itself needs no routing.
+// itself needs no routing. The tile array grows on demand; callers that
+// know the tile count should use NewChannelFabricSized.
 func NewChannelFabric(route RouteFunc) *ChannelFabric {
-	return &ChannelFabric{boxes: make(map[EndpointID]*mailbox), route: route}
+	return NewChannelFabricSized(route, 0)
+}
+
+// NewChannelFabricSized creates a fabric with the dense tile-mailbox
+// array allocated up front for the given tile count.
+func NewChannelFabricSized(route RouteFunc, tiles int) *ChannelFabric {
+	return &ChannelFabric{
+		tiles: make([]*mailbox, tiles),
+		ctrl:  make(map[EndpointID]*mailbox),
+		route: route,
+	}
 }
 
 // Process returns the transport handle of process p.
@@ -266,7 +289,12 @@ func (f *ChannelFabric) Close() error {
 		return nil
 	}
 	f.done = true
-	for _, b := range f.boxes {
+	for _, b := range f.tiles {
+		if b != nil {
+			b.Close()
+		}
+	}
+	for _, b := range f.ctrl {
 		b.Close()
 	}
 	return nil
@@ -281,17 +309,35 @@ func (f *ChannelFabric) register(p arch.ProcID, id EndpointID) (Endpoint, error)
 	if f.done {
 		return nil, ErrClosed
 	}
-	if _, dup := f.boxes[id]; dup {
+	if id < 0 {
+		if _, dup := f.ctrl[id]; dup {
+			return nil, fmt.Errorf("transport: endpoint %d registered twice", id)
+		}
+		b := newMailbox(id)
+		f.ctrl[id] = b
+		return b, nil
+	}
+	for int(id) >= len(f.tiles) { // unsized fabric: amortized growth
+		f.tiles = append(f.tiles, nil)
+	}
+	if f.tiles[id] != nil {
 		return nil, fmt.Errorf("transport: endpoint %d registered twice", id)
 	}
 	b := newMailbox(id)
-	f.boxes[id] = b
+	f.tiles[id] = b
 	return b, nil
 }
 
 func (f *ChannelFabric) box(dst EndpointID) (*mailbox, error) {
 	f.mu.RLock()
-	b := f.boxes[dst]
+	var b *mailbox
+	if dst >= 0 {
+		if int(dst) < len(f.tiles) {
+			b = f.tiles[dst]
+		}
+	} else {
+		b = f.ctrl[dst]
+	}
 	done := f.done
 	f.mu.RUnlock()
 	if done {

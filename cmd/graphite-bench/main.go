@@ -31,6 +31,8 @@ import (
 )
 
 // Result is one bench's aggregated measurement (means over -reps runs).
+//
+//graphite:wire
 type Result struct {
 	Name string `json:"name"`
 	Reps int    `json:"reps"`
@@ -54,6 +56,8 @@ type Result struct {
 }
 
 // Delta compares one bench against the baseline report.
+//
+//graphite:wire
 type Delta struct {
 	Name      string  `json:"name"`
 	WallPct   float64 `json:"wall_pct"`   // negative = faster than baseline
@@ -64,6 +68,8 @@ type Delta struct {
 }
 
 // Report is the file format (schema graphite-bench/v1).
+//
+//graphite:wire
 type Report struct {
 	Schema    string    `json:"schema"`
 	Label     string    `json:"label,omitempty"`

@@ -136,7 +136,7 @@ func (c *Cluster) Run(arg uint64) (*RunStats, error) {
 		prev := runtime.GOMAXPROCS(c.cfg.Workers)
 		defer runtime.GOMAXPROCS(prev)
 	}
-	start := time.Now()
+	start := time.Now() //graphite:wallclock wall_sec slowdown reporting (Table 2); measures host time only, never feeds simulated state
 	if c.cfg.CollectSkew {
 		c.skewStop = make(chan struct{})
 		go c.sampleSkew(start)
@@ -145,7 +145,7 @@ func (c *Cluster) Run(arg uint64) (*RunStats, error) {
 		return nil, err
 	}
 	<-c.mcp.Done()
-	wall := time.Since(start)
+	wall := time.Since(start) //graphite:wallclock wall_sec slowdown reporting; excluded from reproducibility diffs
 	if c.skewStop != nil {
 		close(c.skewStop)
 	}
@@ -171,6 +171,7 @@ func (c *Cluster) Run(arg uint64) (*RunStats, error) {
 // clocks directly (all simulated processes share this OS process), which
 // corresponds to the approximate skew measurement of Figure 7.
 func (c *Cluster) sampleSkew(start time.Time) {
+	//graphite:wallclock Figure 7 skew measurement is wall-clock-paced by design: samples observe simulated clocks, they never advance them
 	tick := time.NewTicker(500 * time.Microsecond)
 	defer tick.Stop()
 	for {
@@ -199,7 +200,7 @@ func (c *Cluster) sampleSkew(start time.Time) {
 			sum += v
 		}
 		s := SkewSample{
-			Wall: time.Since(start),
+			Wall: time.Since(start), //graphite:wallclock sample timestamp in the skew report; observation only
 			Min:  clocks[0],
 			Max:  clocks[len(clocks)-1],
 			Mean: sum / arch.Cycles(len(clocks)),

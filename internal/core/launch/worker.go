@@ -24,6 +24,8 @@ const WorkerEnv = "GRAPHITE_MP_WORKER"
 // is, where every process listens, and the simulation it serves. It is
 // the JSON payload of WorkerEnv and the flag set of a manually launched
 // graphite-mp worker.
+//
+//graphite:wire
 type WorkerSpec struct {
 	// Proc is this worker's process ID (1..Config.Processes-1).
 	Proc int `json:"proc"`
@@ -44,7 +46,7 @@ type WorkerSpec struct {
 	Verbose bool `json:"verbose,omitempty"`
 	// Config is the full simulation configuration, identical across
 	// processes (the config digest recorded by the coordinator covers it).
-	Config config.Config `json:"config"`
+	Config config.Config `json:"config"` //graphite:wireexempt Config's wire schema IS its Go field names (config_digest hashes config.Canonical()'s JSON); see scenario.RunSpec.Config
 }
 
 // MaybeWorkerProcess turns the current process into a fabric worker when

@@ -215,7 +215,7 @@ func (p *Proc) newSyncModel(tile *Tile) synchro.Model {
 		// skew sampling and partner probes like any blocked thread.
 		nap := func(d time.Duration) {
 			tile.setRPCBlocked(true)
-			time.Sleep(d)
+			time.Sleep(d) //graphite:wallclock LaxP2P nap (paper §3.6.3) throttles host execution only; the frozen simulated clock resumes exactly where it stopped
 			tile.setRPCBlocked(false)
 		}
 		return synchro.NewP2P(p.cfg.Sync, tile.ID, p.cfg.Tiles, p.cfg.RandSeed, probe, nap)

@@ -123,6 +123,7 @@ func (r *sysRouter) serve() {
 		if !ok {
 			r.mu.Lock()
 			r.closed = true
+			//graphite:maporder teardown close of per-request channels; each waiter observes only its own channel
 			for seq, ch := range r.waiters {
 				close(ch)
 				delete(r.waiters, seq)

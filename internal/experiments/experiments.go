@@ -123,6 +123,8 @@ func runOnceRecord(name string, threads int, scale int, cfg config.Config) (*cor
 
 // nativeTime measures the wall-clock time of the native variant, repeated
 // until at least minDuration has elapsed to get a stable measurement.
+//
+//graphite:wallclock benchmarks the native baseline of Table 2; wall time is the measurement itself, not simulated state
 func nativeTime(name string, p workloads.Params) time.Duration {
 	w, _ := workloads.Get(name)
 	const minDuration = 20 * time.Millisecond

@@ -7,6 +7,8 @@ import (
 )
 
 // HostScalePoint is one (target tiles, host workers) measurement.
+//
+//graphite:wire
 type HostScalePoint struct {
 	Tiles   int     `json:"tiles"`
 	Workers int     `json:"workers"`
@@ -31,6 +33,8 @@ type HostScalePoint struct {
 // HostScaleResult is the thousand-tile host-worker scaling study: the
 // fig4 speedup curve measured at 64-1024 simulated tiles inside one OS
 // process, sweeping Config.Workers (GOMAXPROCS).
+//
+//graphite:wire
 type HostScaleResult struct {
 	Workload string           `json:"workload"`
 	Scale    int              `json:"scale"`

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicWord builds the atomicword analyzer: once any code in a package
+// accesses a struct field through a sync/atomic function (its address
+// passed to atomic.LoadUint32, atomic.CompareAndSwapUint64, …), every
+// plain read or write of that field is a finding. Mixing the two access
+// modes is the race class DESIGN.md §13 (the coreState ownership word)
+// and §16 (the tile clock word) argue away by hand — the memory model
+// gives plain accesses no ordering against the CAS protocol, so one
+// stray `w.field = v` silently re-introduces the race the hand argument
+// excluded.
+//
+// Fields of the typed atomic.X values are safe by construction (their
+// state is unexported) and need no analysis; this analyzer exists so a
+// refactor from atomic.Uint32 to a plain word + function calls — e.g.
+// to pack words into a structure-of-arrays slice — cannot shed the
+// discipline. Intentional plain access (a constructor initializing the
+// word before the value is published) carries //graphite:nonatomic
+// <why> on its line or enclosing function.
+func AtomicWord(s *Suite) *Analyzer {
+	a := &Analyzer{
+		Name: "atomicword",
+		Doc:  "forbid plain access to struct fields accessed via sync/atomic",
+	}
+	a.Run = func(pass *Pass) {
+		// Pass 1: collect the atomically accessed fields and the
+		// selector nodes that appear inside atomic call arguments.
+		atomicFields := make(map[types.Object]bool)
+		atomicUses := make(map[*ast.SelectorExpr]bool)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !pass.isAtomicCall(call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if obj := pass.fieldObject(sel); obj != nil {
+						atomicFields[obj] = true
+						atomicUses[sel] = true
+					}
+				}
+				return true
+			})
+		}
+		if len(atomicFields) == 0 {
+			return
+		}
+		// Pass 2: every other selector of those fields is plain access.
+		for _, f := range pass.Files {
+			file := f
+			walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if atomicUses[sel] {
+					return true
+				}
+				obj := pass.fieldObject(sel)
+				if obj == nil || !atomicFields[obj] {
+					return true
+				}
+				doc := enclosingFuncDoc(stack)
+				pass.reportUnlessSuppressed(file, doc, sel.Pos(), "nonatomic",
+					"field %s is accessed with sync/atomic elsewhere; a plain access here races with the atomic protocol (annotate //graphite:nonatomic <why> if provably unpublished)", obj.Name())
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function.
+func (p *Pass) isAtomicCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldObject resolves sel to a struct field object, or nil.
+func (p *Pass) fieldObject(sel *ast.SelectorExpr) types.Object {
+	s, ok := p.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc builds the hotalloc analyzer: a function whose doc comment
+// carries //graphite:hotpath must not contain allocating constructs.
+// The check is intraprocedural and syntactic-plus-types — it does not
+// run escape analysis, so it flags constructs that *may* allocate
+// (append can reuse capacity, a boxed small int may hit the runtime
+// cache). That asymmetry is deliberate: the dynamic zero-alloc tests
+// (TestHitPathZeroAllocAt256Tiles) prove one execution clean, this
+// analyzer proves no unexercised branch can regress it; a provably cold
+// or capacity-safe construct carries //graphite:alloc <why> on its
+// line.
+//
+// Flagged constructs: make, new, &composite / slice / map literals,
+// append, capturing closures, go statements, string concatenation,
+// string<->[]byte/[]rune conversions, and value-to-interface boxing
+// (passing or assigning a non-pointer-shaped concrete value where an
+// interface is expected).
+func HotAlloc(s *Suite) *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "forbid allocating constructs in //graphite:hotpath functions",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, ok := docDirective(fd.Doc, "hotpath"); !ok {
+					continue
+				}
+				pass.checkHotBody(f, fd)
+			}
+		}
+	}
+	return a
+}
+
+func (p *Pass) checkHotBody(file *ast.File, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		p.reportUnlessSuppressed(file, nil, pos, "alloc", format, args...)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			p.checkHotCall(n, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal escapes to the heap in a hot path")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := p.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates in a hot path")
+				case *types.Map:
+					report(n.Pos(), "map literal allocates in a hot path")
+				}
+			}
+		case *ast.FuncLit:
+			if free := p.capturedVar(n); free != "" {
+				report(n.Pos(), "closure capturing %q allocates in a hot path", free)
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine in a hot path")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := p.TypesInfo.Types[n]; ok && isString(tv.Type.Underlying()) {
+					report(n.Pos(), "string concatenation allocates in a hot path")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if lt, ok := p.TypesInfo.Types[n.Lhs[i]]; ok {
+						p.checkBoxing(rhs, lt.Type, report)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			p.checkReturnBoxing(fd, n, report)
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkHotCall(call *ast.CallExpr, report func(pos token.Pos, format string, args ...any)) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make allocates in a hot path")
+			case "new":
+				report(call.Pos(), "new allocates in a hot path")
+			case "append":
+				report(call.Pos(), "append may grow its backing array in a hot path")
+			}
+			return
+		}
+	}
+	// Conversion expressions.
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		if from, ok := p.TypesInfo.Types[call.Args[0]]; ok {
+			fromU := from.Type.Underlying()
+			if (isString(to) && isByteOrRuneSlice(fromU)) ||
+				(isByteOrRuneSlice(to) && isString(fromU)) {
+				report(call.Pos(), "string/slice conversion copies and allocates in a hot path")
+			}
+			p.checkBoxing(call.Args[0], tv.Type, report)
+		}
+		return
+	}
+	// Ordinary call: arguments assigned to interface parameters box.
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through whole, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		p.checkBoxing(arg, pt, report)
+	}
+}
+
+// checkReturnBoxing flags returns that box a concrete value into an
+// interface result.
+func (p *Pass) checkReturnBoxing(fd *ast.FuncDecl, ret *ast.ReturnStmt, report func(pos token.Pos, format string, args ...any)) {
+	def := p.TypesInfo.Defs[fd.Name]
+	if def == nil {
+		return
+	}
+	sig, ok := def.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		p.checkBoxing(r, sig.Results().At(i).Type(), report)
+	}
+}
+
+// checkBoxing reports expr if assigning it to target converts a
+// non-pointer-shaped concrete value into an interface — that conversion
+// heap-allocates the value's box.
+func (p *Pass) checkBoxing(expr ast.Expr, target types.Type, report func(pos token.Pos, format string, args ...any)) {
+	if target == nil {
+		return
+	}
+	if _, isIface := target.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := p.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Interface:
+		return // interface-to-interface, no box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits the interface data word directly
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	report(expr.Pos(), "value of type %s boxed into interface %s allocates in a hot path",
+		tv.Type.String(), target.String())
+}
+
+// capturedVar returns the name of one variable the func literal
+// captures from an enclosing scope, or "" if it captures nothing (a
+// capture-free literal compiles to a static function — no allocation).
+func (p *Pass) capturedVar(fl *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return true
+		}
+		// A variable declared outside the literal but inside some
+		// function (not a package-level var) is a capture.
+		if obj.Parent() == nil || obj.Parent() == types.Universe {
+			return true
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level var: static reference
+		}
+		if obj.Pos() < fl.Pos() || obj.Pos() > fl.End() {
+			captured = obj.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,42 @@
+// Package atomicword is the graphite-lint golden corpus for the
+// atomicword analyzer: a struct field whose address reaches a
+// sync/atomic function must never be accessed plainly.
+package atomicword
+
+import "sync/atomic"
+
+// gate mixes atomic and plain access to its state word.
+type gate struct {
+	state uint32
+	plain uint32
+}
+
+// open publishes through the CAS protocol: this access marks state as
+// an atomic word for the whole package.
+func (g *gate) open() bool {
+	return atomic.CompareAndSwapUint32(&g.state, 0, 1)
+}
+
+// load is a second atomic access: fine.
+func (g *gate) load() uint32 {
+	return atomic.LoadUint32(&g.state)
+}
+
+// peek reads the same word plainly — the unordered mixed access the
+// analyzer exists to catch.
+func (g *gate) peek() uint32 {
+	return g.state // want `atomicword: field state is accessed with sync/atomic elsewhere`
+}
+
+// reset writes plainly but is justified: the value is unpublished.
+func newGate() *gate {
+	g := &gate{}
+	g.state = 0 //graphite:nonatomic construction: g has not been published to any other goroutine yet
+	return g
+}
+
+// bump touches a field no atomic call ever names: no finding.
+func (g *gate) bump() uint32 {
+	g.plain++
+	return g.plain
+}

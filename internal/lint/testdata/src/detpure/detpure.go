@@ -1,0 +1,83 @@
+// Package detpure is the graphite-lint golden corpus for the detpure
+// analyzer: wall-clock reads, global math/rand draws, and unordered map
+// iteration inside the determinism boundary.
+package detpure
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallNow makes the simulated result a function of host time.
+func wallNow() int64 {
+	return time.Now().UnixNano() // want `detpure: time\.Now observes the host wall clock`
+}
+
+// nowFn shows a stored function value is as impure as a call.
+var nowFn = time.Now // want `detpure: time\.Now observes the host wall clock`
+
+// napBad paces on the host clock without a justification.
+func napBad() {
+	time.Sleep(time.Millisecond) // want `detpure: time\.Sleep observes the host wall clock`
+}
+
+// napAnnotated carries the justification on the function.
+//
+//graphite:wallclock pacing only: the nap throttles host speed and never feeds a simulated clock
+func napAnnotated() {
+	time.Sleep(time.Millisecond)
+}
+
+// napEmptyJustification shows an empty justification is itself a
+// finding: every suppression must document itself.
+func napEmptyJustification() {
+	time.Sleep(time.Millisecond) /* want `detpure: //graphite:wallclock requires a justification` */ //graphite:wallclock
+}
+
+// methodsAreFine: time.Time methods compare values the caller already
+// holds — only package-level entry points reach host state.
+func methodsAreFine(a, b time.Time) bool {
+	return a.After(b) && a.Sub(b) > 0
+}
+
+// drawGlobal draws from the process-global generator.
+func drawGlobal() int {
+	return rand.Intn(6) // want `detpure: rand\.Intn draws from the process-global generator`
+}
+
+// drawSeeded builds a locally seeded generator — the approved pattern;
+// its method draws are deterministic given the seed.
+func drawSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// sumUnordered iterates a map with no proof of order-insensitivity.
+func sumUnordered(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want `detpure: map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+// sortedKeys drains into a sort, annotated with the why.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//graphite:maporder drained into sort.Strings below; iteration order cannot survive the sort
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sliceRange ranges a slice: deterministic, no finding.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,82 @@
+// Package hotalloc is the graphite-lint golden corpus for the hotalloc
+// analyzer: allocating constructs inside //graphite:hotpath functions.
+package hotalloc
+
+// point exists so escaping composite literals have a type.
+type point struct{ x, y int }
+
+// hotConstructs collects one instance of each flagged construct.
+//
+//graphite:hotpath
+func hotConstructs(n int, s string) int {
+	buf := make([]byte, n) // want `hotalloc: make allocates in a hot path`
+	p := new(int)          // want `hotalloc: new allocates in a hot path`
+	var xs []int
+	xs = append(xs, n) // want `hotalloc: append may grow its backing array`
+	b := []byte(s)     // want `hotalloc: string/slice conversion copies and allocates`
+	s2 := s + "!"      // want `hotalloc: string concatenation allocates`
+	go drain()         // want `hotalloc: go statement allocates a goroutine`
+	return len(buf) + *p + len(xs) + len(b) + len(s2)
+}
+
+// hotEscape returns a pointer to a literal: it escapes to the heap.
+//
+//graphite:hotpath
+func hotEscape() *point {
+	return &point{1, 2} // want `hotalloc: &composite literal escapes`
+}
+
+// hotLiterals: slice and map literals allocate their backing store.
+//
+//graphite:hotpath
+func hotLiterals() int {
+	xs := []int{1, 2, 3}        // want `hotalloc: slice literal allocates`
+	m := map[string]int{"a": 1} // want `hotalloc: map literal allocates`
+	return len(xs) + len(m)
+}
+
+// hotClosure captures n, so the closure's context heap-allocates.
+//
+//graphite:hotpath
+func hotClosure(n int) func() int {
+	f := func() int { return n } // want `hotalloc: closure capturing "n" allocates`
+	return f
+}
+
+// hotBoxing assigns a bare int where an interface is expected.
+//
+//graphite:hotpath
+func hotBoxing(n int) any {
+	var out any
+	out = n // want `hotalloc: value of type int boxed into interface`
+	return out
+}
+
+// hotSuppressed grows a caller-owned buffer: the justified escape hatch.
+//
+//graphite:hotpath
+func hotSuppressed(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n) //graphite:alloc growth path: amortized by caller buffer reuse across calls
+	}
+	return buf[:n]
+}
+
+// hotClean allocates nothing: zero findings.
+//
+//graphite:hotpath
+func hotClean(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// coldAllocs is not annotated, so the analyzer ignores it entirely.
+func coldAllocs(n int) []int {
+	return make([]int, n)
+}
+
+// drain is the target of the go statement above.
+func drain() {}

@@ -1,0 +1,54 @@
+// Package wirejson is the graphite-lint golden corpus for the wirejson
+// analyzer: explicit snake_case json tags on //graphite:wire structs,
+// transitive wire annotation, and the documented exemption.
+package wirejson
+
+// Good is a fully tagged wire struct: no findings.
+//
+//graphite:wire
+type Good struct {
+	Name    string `json:"name"`
+	Count   int    `json:"count,omitempty"`
+	Stringy uint64 `json:"stringy,string"`
+	Skipped string `json:"-"`
+	Inner   Nested `json:"inner"`
+}
+
+// Nested is wire, so Good's reference to it is legal.
+//
+//graphite:wire
+type Nested struct {
+	Value uint64 `json:"value"`
+}
+
+// Composed embeds a wire struct untagged: the intended flattening
+// composition pattern, no finding.
+//
+//graphite:wire
+type Composed struct {
+	Nested
+	Extra int `json:"extra"`
+}
+
+// Bad gathers one instance of each tag-grammar violation.
+//
+//graphite:wire
+type Bad struct {
+	Untagged int      // want `wirejson: wire type Bad: field Untagged has no json tag`
+	Unnamed  int      `json:""`          // want `wirejson: wire type Bad: field Unnamed has a json tag with no name`
+	Camel    int      `json:"camelCase"` // want `wirejson: wire type Bad: json name "camelCase" is not snake_case`
+	BadOpt   int      `json:"x,weird"`   // want `wirejson: wire type Bad: json option "weird" is not in the wire grammar`
+	Plain    unfrozen `json:"plain"`     // want `wirejson: field type wirejson\.unfrozen is not a //graphite:wire struct`
+	Exempt   unfrozen `json:"exempt"`    //graphite:wireexempt golden for the escape hatch: this type's schema is frozen by other means
+}
+
+// unfrozen is a named struct with no wire annotation, referenced by Bad
+// both with and without an exemption.
+type unfrozen struct {
+	X int `json:"x"`
+}
+
+// NotStruct shows the directive is rejected on non-struct types.
+//
+//graphite:wire
+type NotStruct int // want `wirejson: //graphite:wire applies to struct types only`

@@ -44,6 +44,8 @@ type LCP struct {
 
 // NewLCP builds the LCP for one process. net must be registered on the
 // process's LCP endpoint.
+//
+//graphite:wallclock anchors the per-process wall-serving timer reported as proc_wall_sec — reporting only, excluded from reproducibility diffs, never feeds simulated state
 func NewLCP(proc arch.ProcID, net *network.Net, cb LCPCallbacks) *LCP {
 	return &LCP{proc: proc, net: net, cb: cb, started: time.Now(), stopped: make(chan struct{})}
 }
@@ -93,7 +95,7 @@ func (l *LCP) Serve() {
 			// wall-clock serving time) must be on the wire before the
 			// Shutdown callback runs, because worker processes exit from
 			// that callback and tear the transport down with them.
-			wall := time.Since(l.started)
+			wall := time.Since(l.started) //graphite:wallclock proc_wall_sec reporting; excluded from reproducibility diffs
 			if _, err := l.net.Send(network.ClassSystem, MsgShutdownRep, pkt.Src, pkt.Seq, EncodeU64(uint64(wall.Nanoseconds())), 0); err != nil && !errors.Is(err, transport.ErrClosed) {
 				panic("mcp: shutdown ack: " + err.Error())
 			}

@@ -518,6 +518,7 @@ func (s *Server) recheckSimBarrier() {
 		return
 	}
 	min := int64(1<<62 - 1)
+	//graphite:maporder commutative minimum over pending epochs
 	for _, w := range s.simWaits {
 		if w.epoch < min {
 			min = w.epoch
@@ -525,6 +526,7 @@ func (s *Server) recheckSimBarrier() {
 	}
 	procs := s.releaseProcs
 	clear(procs)
+	//graphite:maporder releases go to disjoint tiles/processes; the fabric orders only per-pair FIFO, so wake order was never defined, and released threads re-synchronize at the next quantum regardless
 	for tile, w := range s.simWaits {
 		if w.epoch != min {
 			continue
@@ -536,6 +538,7 @@ func (s *Server) recheckSimBarrier() {
 		}
 		delete(s.simWaits, tile)
 	}
+	//graphite:maporder one release notification per distinct process; delivery order across processes is unordered by the fabric anyway
 	for proc := range procs {
 		dst := arch.TileID(transport.LCP(proc))
 		if _, err := s.net.Send(network.ClassSystem, MsgSimBarrierRelease, dst, 0, EncodeU64(uint64(min)), 0); err != nil && !errors.Is(err, transport.ErrClosed) {
@@ -629,6 +632,7 @@ func (s *Server) ShutdownWorkers() []ProcShutdown {
 			announced++
 		}
 	}
+	//graphite:wallclock bounded teardown-ack wait: a dead worker must not hang shutdown; the timeout only abandons acks, simulation results are already final
 	deadline := time.NewTimer(shutdownAckTimeout)
 	defer deadline.Stop()
 	for n := 0; n < announced; n++ {

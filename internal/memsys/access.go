@@ -42,6 +42,8 @@ func (n *Node) Fetch(pc arch.Addr, nbytes int, now arch.Cycles) AccessResult {
 // of the fixed-width Load64/Store64/Load32/Store32 helpers and every
 // aligned instruction fetch — skip the segment-split loop entirely;
 // straddling references split into per-line segments.
+//
+//graphite:hotpath
 func (n *Node) access(addr arch.Addr, buf []byte, isWrite, ifetch bool, now arch.Cycles) AccessResult {
 	if int(uint64(addr)&(uint64(n.lineSize)-1))+len(buf) <= n.lineSize {
 		return n.accessLine(addr, buf, isWrite, ifetch, now)
@@ -68,6 +70,8 @@ func (n *Node) access(addr arch.Addr, buf []byte, isWrite, ifetch bool, now arch
 // no mutex, no shared-state round trip with the server goroutine. Misses
 // additionally take mu to stage the outstanding request and to hand the
 // domain over for the blocking wait.
+//
+//graphite:hotpath
 func (n *Node) accessLine(addr arch.Addr, seg []byte, isWrite, ifetch bool, now arch.Cycles) AccessResult {
 	n.coreClaim()
 	res := n.accessOwned(addr, seg, isWrite, ifetch, now)
@@ -76,6 +80,8 @@ func (n *Node) accessLine(addr arch.Addr, seg []byte, isWrite, ifetch bool, now 
 }
 
 // accessOwned is accessLine's body, running with the core domain claimed.
+//
+//graphite:hotpath
 func (n *Node) accessOwned(addr arch.Addr, seg []byte, isWrite, ifetch bool, now arch.Cycles) AccessResult {
 	line := n.lineOf(addr)
 	off := int(uint64(addr) & (uint64(n.lineSize) - 1))

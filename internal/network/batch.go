@@ -60,6 +60,7 @@ func (b *Batch) Send(class Class, typ uint8, dst arch.TileID, seq uint64, payloa
 // Len reports how many packets are queued.
 func (b *Batch) Len() int {
 	total := 0
+	//graphite:maporder commutative sum of per-destination queue lengths
 	for _, fs := range b.pend {
 		total += len(fs)
 	}

@@ -98,6 +98,8 @@ func (s Stats) HitRate() float64 {
 }
 
 // diskLine is one segment line: a self-validating record envelope.
+//
+//graphite:wire
 type diskLine struct {
 	Key    string          `json:"key"`
 	At     int64           `json:"at"` // Put time, unix nanoseconds

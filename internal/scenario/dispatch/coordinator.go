@@ -270,6 +270,7 @@ func (c *Coordinator) Cancel(reason string) {
 		c.cond.Broadcast()
 	}
 	conns := make([]net.Conn, 0, len(c.conns))
+	//graphite:maporder teardown close of a connection set; close order among dead-anyway peers is immaterial
 	for conn := range c.conns {
 		conns = append(conns, conn)
 	}
@@ -352,7 +353,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 
 	// The handshake must not be able to wedge shutdown: a connection that
 	// never says hello is dropped after the deadline.
-	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //graphite:wallclock handshake I/O deadline; host-fleet liveness, invisible to simulation results
 	m, err := readMsg(r)
 	if err != nil || m.Type != msgHello || m.Proto != protoVersion {
 		return

@@ -58,6 +58,8 @@ const (
 )
 
 // message is the single envelope of every frame in either direction.
+//
+//graphite:wire
 type message struct {
 	Type  string `json:"type"`
 	Proto int    `json:"proto,omitempty"`

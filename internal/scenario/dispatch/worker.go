@@ -98,6 +98,8 @@ func Work(addr string, opt WorkerOptions) error {
 // the coordinator); a secondary dial happens while a primary connection
 // is already up, so a refusal means the coordinator finished or died and
 // redialing it for the full timeout would only delay the worker's exit.
+//
+//graphite:wallclock dial retry loop: host-fleet startup timing (workers may start before the coordinator); no simulated state exists yet
 func attach(addr string, timeout time.Duration, primary bool) (net.Conn, *bufio.Reader, *message, error) {
 	deadline := time.Now().Add(timeout)
 	var conn net.Conn

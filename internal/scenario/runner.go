@@ -30,6 +30,8 @@ import (
 const RecordSchema = "graphite-scenario/v1"
 
 // Record is one run's result — one line of the output JSONL file.
+//
+//graphite:wire
 type Record struct {
 	Schema   string `json:"schema"`
 	Scenario string `json:"scenario"`

@@ -36,6 +36,8 @@ import (
 // config.Validate requires), or a dotted path into config.Config
 // ("Tiles", "L2.LineSize", "Sync.Model", ...). Enum-typed config fields
 // accept their string spellings ("lax_barrier", "dir_nb", "mesh_hop", ...).
+//
+//graphite:wire
 type Axis struct {
 	Field  string `json:"field"`
 	Values []any  `json:"values"`
@@ -44,6 +46,8 @@ type Axis struct {
 // Grid is one block of runs: optional per-grid defaults plus the axes
 // whose cross product the grid expands to. A grid with no axes is a
 // single run.
+//
+//graphite:wire
 type Grid struct {
 	// Workload, Threads, Scale, Processes override the scenario-level
 	// defaults for this grid (zero values inherit).
@@ -58,6 +62,8 @@ type Grid struct {
 }
 
 // Scenario is a declarative sweep definition.
+//
+//graphite:wire
 type Scenario struct {
 	// Name labels every emitted record.
 	Name        string `json:"name"`
@@ -110,6 +116,8 @@ type Scenario struct {
 // the dispatch package ship specs to remote workers: a worker decodes the
 // spec, executes it, and the recomputed config digest matches the
 // coordinator's.
+//
+//graphite:wire
 type RunSpec struct {
 	Scenario string `json:"scenario"`
 	Run      int    `json:"run"`   // global index across the scenario
@@ -129,7 +137,7 @@ type RunSpec struct {
 	Axes map[string]any `json:"axes,omitempty"`
 	// TileStats embeds per-tile records in the run's Record.
 	TileStats bool          `json:"tile_stats,omitempty"`
-	Config    config.Config `json:"config"`
+	Config    config.Config `json:"config"` //graphite:wireexempt Config's wire schema IS its Go field names: config_digest hashes config.Canonical()'s JSON, so retagging would invalidate every recorded digest; the round-trip tests in config freeze it instead
 }
 
 // presets maps preset names to base configurations. "default" is the
@@ -171,6 +179,7 @@ var presets = map[string]func() config.Config{
 // Presets returns the available preset names, sorted.
 func Presets() []string {
 	out := make([]string, 0, len(presets))
+	//graphite:maporder drained into sort.Strings below; iteration order cannot survive the sort
 	for n := range presets {
 		out = append(out, n)
 	}
@@ -547,6 +556,7 @@ func toFloat(v any) (float64, error) {
 
 func sortedKeys(m map[string]any) []string {
 	out := make([]string, 0, len(m))
+	//graphite:maporder drained into sort.Strings below; iteration order cannot survive the sort
 	for k := range m {
 		out = append(out, k)
 	}

@@ -44,6 +44,8 @@ func New(baseURL string) (*Client, error) {
 }
 
 // JobStatus mirrors the daemon's job status document (docs/API.md).
+//
+//graphite:wire
 type JobStatus struct {
 	ID               string `json:"id"`
 	State            string `json:"state"`

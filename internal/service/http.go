@@ -24,6 +24,8 @@ import (
 // JobStatus is the wire form of one job on the v1 API (GET /v1/jobs and
 // GET /v1/jobs/{id}). Unlike Records, status is about the daemon, not
 // the simulation — it carries wall-clock fields freely.
+//
+//graphite:wire
 type JobStatus struct {
 	ID       string `json:"id"`
 	State    string `json:"state"` // queued | running | done | failed
@@ -50,11 +52,15 @@ type JobStatus struct {
 }
 
 // JobList is the wire form of GET /v1/jobs.
+//
+//graphite:wire
 type JobList struct {
 	Jobs []JobStatus `json:"jobs"`
 }
 
 // apiError is the wire form of every non-2xx response.
+//
+//graphite:wire
 type apiError struct {
 	Error string `json:"error"`
 }

@@ -49,6 +49,8 @@ func (k MissKind) String() string {
 // are the stable export schema consumed by scenario JSONL records and any
 // external analysis tooling; gob encoding (the MCP gather path) ignores
 // the tags.
+//
+//graphite:wire
 type Tile struct {
 	TileID arch.TileID `json:"tile"`
 
@@ -110,6 +112,8 @@ func (t *Tile) TotalL2Misses() uint64 {
 // Totals aggregates tile records for reporting. Like Tile, the JSON tags
 // are the stable structured-export schema (scenario JSONL embeds Totals
 // verbatim); field values are integers, so records round-trip exactly.
+//
+//graphite:wire
 type Totals struct {
 	Tiles            int                  `json:"tiles"`
 	Instructions     uint64               `json:"instructions"`

@@ -119,6 +119,8 @@ func (l *Ledger) SetBlocked(tile arch.TileID, blocked bool) {
 // releases that epoch (via Release) or the ledger closes. It registers
 // the wait, flushes the batch if this wait completes the local round, and
 // blocks.
+//
+//graphite:hotpath
 func (l *Ledger) Wait(tile arch.TileID, epoch int64) {
 	l.mu.Lock()
 	if l.closed {
@@ -148,6 +150,7 @@ func (l *Ledger) Wait(tile arch.TileID, epoch int64) {
 func (l *Ledger) Release(epoch int64) {
 	l.mu.Lock()
 	woke := false
+	//graphite:maporder commutative flag clears on disjoint slots; wakeup order is the scheduler's regardless
 	for _, s := range l.slots {
 		if s.waiting && s.epoch == epoch {
 			s.waiting = false
@@ -166,6 +169,7 @@ func (l *Ledger) Release(epoch int64) {
 func (l *Ledger) Close() {
 	l.mu.Lock()
 	l.closed = true
+	//graphite:maporder commutative flag clears on disjoint slots during teardown
 	for _, s := range l.slots {
 		s.waiting = false
 	}
@@ -181,6 +185,7 @@ func (l *Ledger) takeBatchLocked() []EpochWait {
 		return nil
 	}
 	pending := 0
+	//graphite:maporder commutative count/any-still-running scan over disjoint slots
 	for _, s := range l.slots {
 		if !s.active {
 			continue
@@ -196,6 +201,7 @@ func (l *Ledger) takeBatchLocked() []EpochWait {
 		return nil
 	}
 	batch := make([]EpochWait, 0, pending)
+	//graphite:maporder the batch is a set: the MCP keys each wait by tile (Server.simWaits), so entry order never reaches a result or an output byte
 	for tile, s := range l.slots {
 		if s.active && s.waiting && !s.flushed {
 			s.flushed = true

@@ -116,6 +116,8 @@ type p2p struct {
 
 // NewP2P returns a LaxP2P model for one tile. probe reads a random
 // partner's clock; sleep is time.Sleep (injectable for tests).
+//
+//graphite:wallclock LaxP2P pacing (paper §3.6.3): the wall clock and sleep only throttle host execution speed; naps never advance or feed a simulated clock, so results are unaffected
 func NewP2P(cfg config.SyncConfig, self arch.TileID, tiles int, seed int64, probe ProbeFunc, sleep func(time.Duration)) Model {
 	if sleep == nil {
 		sleep = time.Sleep

@@ -478,6 +478,10 @@ func (t *tcpTransport) closedOr(err error) error {
 // SendBatch implements Transport. Remote batches travel as one flagged
 // frame — a single buffered write and flush for the whole batch instead of
 // one per message.
+// SendBatch implements Transport: one writer-lock acquisition and one
+// framed write per destination burst.
+//
+//graphite:hotpath
 func (t *tcpTransport) SendBatch(dst EndpointID, frames [][]byte) error {
 	switch len(frames) {
 	case 0:
@@ -495,7 +499,7 @@ func (t *tcpTransport) SendBatch(dst EndpointID, frames [][]byte) error {
 			return ErrClosed
 		}
 		if b == nil {
-			return fmt.Errorf("transport: send to unregistered local endpoint %d", dst)
+			return fmt.Errorf("transport: send to unregistered local endpoint %d", dst) //graphite:alloc error path; a misrouted endpoint aborts the run
 		}
 		return b.putBatch(frames)
 	}
@@ -506,7 +510,7 @@ func (t *tcpTransport) SendBatch(dst EndpointID, frames [][]byte) error {
 		return ErrClosed
 	}
 	if int(owner) >= len(t.peers) || t.peers[owner] == nil {
-		return fmt.Errorf("transport: no connection to process %d", owner)
+		return fmt.Errorf("transport: no connection to process %d", owner) //graphite:alloc error path; a missing peer aborts the run
 	}
 	total := 4
 	for _, f := range frames {

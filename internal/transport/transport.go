@@ -384,6 +384,8 @@ func (t *channelTransport) Send(dst EndpointID, data []byte) error {
 }
 
 // SendBatch implements Transport.
+//
+//graphite:hotpath
 func (t *channelTransport) SendBatch(dst EndpointID, frames [][]byte) error {
 	return t.fabric.sendBatch(dst, frames)
 }

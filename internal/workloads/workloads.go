@@ -89,6 +89,7 @@ func Get(name string) (Workload, bool) {
 // Names returns all registered workload names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
+	//graphite:maporder drained into sort.Strings below; iteration order cannot survive the sort
 	for n := range registry {
 		out = append(out, n)
 	}

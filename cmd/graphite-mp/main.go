@@ -21,13 +21,16 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/config"
 	"repro/internal/core/launch"
+	"repro/internal/scenario"
 	"repro/internal/workloads"
 )
 
@@ -47,6 +50,14 @@ func main() {
 		hostf   = flag.String("hostfile", "", "file with one host:port per line (alternative to -hosts)")
 		fork    = flag.Bool("fork", false, "coordinator forks the workers on this machine")
 		dialTO  = flag.Duration("connect-timeout", 30*time.Second, "how long to retry fabric connections while peers come up")
+
+		syncName = flag.String("sync", "", "synchronization model: lax, lax_barrier, lax_p2p (default: config default)")
+		quantum  = flag.Int64("quantum", 0, "barrier quantum in cycles (0: config default)")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for checkpoint manifests (enables checkpointing with -checkpoint-every; requires -sync lax_barrier)")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint every N lax-barrier epochs (0 disables)")
+		restarts  = flag.Int("max-restarts", 0, "with -fork: re-fork and replay up to N times after a worker dies")
+		chaosMS   = flag.Int("chaos-exit-ms", 0, "fault injection: worker 1 SIGKILLs itself after this many milliseconds (testing only)")
 	)
 	flag.Parse()
 
@@ -80,6 +91,17 @@ func main() {
 	cfg.L1I = config.CacheConfig{Enabled: false}
 	cfg.L1D = config.CacheConfig{Enabled: true, Size: 16 << 10, Assoc: 8, LineSize: 64, HitLatency: 1}
 	cfg.L2 = config.CacheConfig{Enabled: true, Size: 256 << 10, Assoc: 8, LineSize: 64, HitLatency: 8}
+	if *syncName != "" {
+		m, err := config.ParseSyncModel(*syncName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Sync.Model = m
+	}
+	if *quantum > 0 {
+		cfg.Sync.BarrierQuantum = arch.Cycles(*quantum)
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -108,14 +130,22 @@ func main() {
 		return
 	}
 
+	digest := scenario.Digest(&cfg)
 	spec := &launch.Spec{
-		Workload:      *name,
-		Threads:       *threads,
-		Scale:         *scale,
-		Config:        cfg,
-		Hosts:         hostList,
-		DialTimeout:   *dialTO,
-		WorkerVerbose: true,
+		Workload:        *name,
+		Threads:         *threads,
+		Scale:           *scale,
+		Config:          cfg,
+		Hosts:           hostList,
+		DialTimeout:     *dialTO,
+		WorkerVerbose:   true,
+		PeekAddr:        workloads.DefaultResultAddr,
+		PeekLen:         16,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		MaxRestarts:     *restarts,
+		ConfigDigest:    digest,
+		ChaosExitMS:     *chaosMS,
 	}
 	fmt.Printf("running %s on %d tiles across %d OS processes\n", *name, *tiles, *procs)
 	var res *launch.Result
@@ -128,6 +158,10 @@ func main() {
 	}
 	if res != nil && res.Stats != nil {
 		totals := res.Stats.Totals
+		if len(res.Peeked) >= 8 {
+			fmt.Printf("checksum          %016x\n", binary.LittleEndian.Uint64(res.Peeked[:8]))
+		}
+		fmt.Printf("config digest     %s\n", digest)
 		fmt.Printf("simulated cycles  %d\n", totals.MaxCycles)
 		fmt.Printf("instructions      %d\n", totals.Instructions)
 		fmt.Printf("loads / stores    %d / %d\n", totals.Loads, totals.Stores)

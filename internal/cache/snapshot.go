@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// Capture snapshots the cache's complete state — every slot, valid or
+// not, in set×assoc order, plus the LRU tick and counters. The full
+// array image (rather than a valid-lines-only walk) preserves slot
+// placement and LRU ordering exactly, so a restored cache replays the
+// original's eviction decisions bit for bit. Invalid slots are emitted
+// as canonical zeros: Invalidate leaves the departed line's address and
+// payload in the arrays, and pooled slot storage (Release/New) carries
+// a prior simulation's bytes — neither is observable through cache
+// operations, but either would leak host history into the snapshot
+// digest and break replay verification across runs.
+func (c *Cache) Capture() *checkpoint.CacheState {
+	s := &checkpoint.CacheState{
+		Addrs:      make([]uint64, len(c.addrs)),
+		States:     make([]uint8, len(c.states)),
+		Dirtys:     make([]bool, len(c.dirtys)),
+		Masks:      make([]uint64, len(c.masks)),
+		LRUs:       make([]uint64, len(c.lrus)),
+		Data:       make([]byte, len(c.data)),
+		Tick:       c.tick,
+		Hits:       c.Hits,
+		Misses:     c.Misses,
+		Evictions:  c.Evictions,
+		Writebacks: c.Writebacks,
+	}
+	for i, st := range c.states {
+		if st == Invalid {
+			continue
+		}
+		s.Addrs[i] = uint64(c.addrs[i])
+		s.States[i] = uint8(st)
+		s.Dirtys[i] = c.dirtys[i]
+		s.Masks[i] = c.masks[i]
+		s.LRUs[i] = c.lrus[i]
+		copy(s.Data[i*c.lineSize:(i+1)*c.lineSize], c.data[i*c.lineSize:(i+1)*c.lineSize])
+	}
+	return s
+}
+
+// Restore overwrites the cache's state from a snapshot taken by Capture
+// on a cache of identical geometry. It errors (rather than corrupting
+// slots) when the snapshot's shape does not match this cache's
+// configuration.
+func (c *Cache) Restore(s *checkpoint.CacheState) error {
+	if len(s.Addrs) != len(c.addrs) || len(s.Data) != len(c.data) {
+		return fmt.Errorf("cache: restore geometry mismatch: snapshot %d slots/%d bytes, cache %d slots/%d bytes",
+			len(s.Addrs), len(s.Data), len(c.addrs), len(c.data))
+	}
+	if len(s.States) != len(c.states) || len(s.Dirtys) != len(c.dirtys) ||
+		len(s.Masks) != len(c.masks) || len(s.LRUs) != len(c.lrus) {
+		return fmt.Errorf("cache: restore snapshot internally inconsistent (%d slots)", len(s.Addrs))
+	}
+	for i, a := range s.Addrs {
+		c.addrs[i] = LineAddr(a)
+	}
+	for i, st := range s.States {
+		c.states[i] = State(st)
+	}
+	copy(c.dirtys, s.Dirtys)
+	copy(c.masks, s.Masks)
+	copy(c.lrus, s.LRUs)
+	copy(c.data, s.Data)
+	c.tick = s.Tick
+	c.Hits = s.Hits
+	c.Misses = s.Misses
+	c.Evictions = s.Evictions
+	c.Writebacks = s.Writebacks
+	return nil
+}

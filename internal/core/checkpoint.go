@@ -1,0 +1,153 @@
+package core
+
+// Per-process checkpoint support (DESIGN.md §18). The LCP's CkptProbe
+// and CkptSave callbacks land here. A save runs each tile's capture
+// inside that tile's own memory-server goroutine: the function is queued
+// with EnqueueCtrl and the server is poked with one CtrlMsg packet sent
+// from the LCP endpoint (control endpoints are negative, so the packet
+// neither takes a network delay nor perturbs the server's self-traffic
+// accounting). Restore uses the same path on a freshly constructed,
+// not-yet-started cluster.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/checkpoint"
+	"repro/internal/mcp"
+	"repro/internal/memsys"
+	"repro/internal/network"
+)
+
+// ckptConfig is the per-process slice of the checkpoint policy: where to
+// write state files and the config digest stamped into them. Set by
+// Cluster.SetCheckpoint before any thread starts.
+type ckptConfig struct {
+	dir    string
+	digest string
+}
+
+// SetCheckpoint attaches the per-process checkpoint configuration. Call
+// before the simulation starts.
+func (p *Proc) SetCheckpoint(dir, configDigest string) {
+	p.ckpt = &ckptConfig{dir: dir, digest: configDigest}
+}
+
+// ckptProbe reports this process's drain status: cumulative memory-class
+// traffic over the local tiles and whether every local node is quiesced.
+// All reads are atomic; the serve goroutine calls this without blocking.
+func (p *Proc) ckptProbe() mcp.CkptProbeRep {
+	rep := mcp.CkptProbeRep{Quiesced: true}
+	for _, t := range p.tileList {
+		ns := t.Net.Stats()
+		rep.Sent += ns.PacketsSent[network.ClassMemory].Load()
+		rep.Recv += ns.PacketsRecv[network.ClassMemory].Load()
+		if !t.Mem.Quiesced() {
+			rep.Quiesced = false
+		}
+	}
+	// Control pokes from earlier checkpoints arrived on the memory class;
+	// without this correction sent/recv would stay unbalanced forever.
+	rep.Recv -= p.ckptPokes.Load()
+	return rep
+}
+
+// ckptSave serializes the process's complete simulation state for one
+// epoch and writes the per-process state file. It runs on the LCP serve
+// goroutine and blocks until every local tile has captured.
+func (p *Proc) ckptSave(epoch int64) mcp.CkptSaveResult {
+	res := mcp.CkptSaveResult{Proc: int32(p.id)}
+	cp := p.ckpt
+	if cp == nil {
+		res.Err = "process has no checkpoint configuration"
+		return res
+	}
+	ps := &checkpoint.ProcState{
+		Version:      checkpoint.Version,
+		Proc:         int32(p.id),
+		Epoch:        epoch,
+		ConfigDigest: cp.digest,
+		Tiles:        make([]checkpoint.TileState, len(p.tileList)),
+	}
+	if err := p.forEachTileCtrl(func(i int, t *Tile) error {
+		ts := &ps.Tiles[i]
+		ts.Tile = int32(t.ID)
+		ts.Clock = int64(t.Clock.Now())
+		ts.Core = t.Core.Capture()
+		return t.Mem.Capture(ts)
+	}); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	file, fileSum, stateDigest, err := checkpoint.WriteProcState(cp.dir, ps)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.File = file
+	res.FileSum = fileSum
+	res.StateDigest = stateDigest
+	return res
+}
+
+// RestoreState overwrites every local tile's state from a snapshot taken
+// by ckptSave on an identically configured process. It must run on a
+// started but idle process — servers pumping, no thread started.
+func (p *Proc) RestoreState(ps *checkpoint.ProcState) error {
+	if ps.Version != checkpoint.Version {
+		return fmt.Errorf("core: proc %d restore: checkpoint version %d, want %d", p.id, ps.Version, checkpoint.Version)
+	}
+	if int32(p.id) != ps.Proc {
+		return fmt.Errorf("core: proc %d restoring proc %d state", p.id, ps.Proc)
+	}
+	if len(ps.Tiles) != len(p.tileList) {
+		return fmt.Errorf("core: proc %d restore tile-count mismatch: snapshot %d, process %d", p.id, len(ps.Tiles), len(p.tileList))
+	}
+	return p.forEachTileCtrl(func(i int, t *Tile) error {
+		ts := &ps.Tiles[i]
+		if arch.TileID(ts.Tile) != t.ID {
+			return fmt.Errorf("core: tile order mismatch at %d: snapshot tile %d, local tile %d", i, ts.Tile, t.ID)
+		}
+		if err := t.Mem.Restore(ts); err != nil {
+			return err
+		}
+		if ts.Core != nil {
+			if err := t.Core.Restore(ts.Core); err != nil {
+				return err
+			}
+		}
+		t.Clock.Set(arch.Cycles(ts.Clock))
+		return nil
+	})
+}
+
+// forEachTileCtrl runs fn(i, tile) for every local tile inside that
+// tile's memory-server goroutine and waits for all of them. Errors are
+// collected per tile; the first (in stripe order) is returned.
+func (p *Proc) forEachTileCtrl(fn func(i int, t *Tile) error) error {
+	errs := make([]error, len(p.tileList))
+	var wg sync.WaitGroup
+	for i, t := range p.tileList {
+		i, t := i, t
+		wg.Add(1)
+		t.Mem.EnqueueCtrl(func() {
+			defer wg.Done()
+			errs[i] = fn(i, t)
+		})
+		// The poke must come from a control endpoint (the LCP net): the
+		// memory server balances self-traffic accounting for packets whose
+		// Src is the tile itself, and a control packet must not participate.
+		if _, err := p.lcpNet.Send(network.ClassMemory, memsys.CtrlMsg, t.ID, 0, nil, 0); err != nil {
+			return fmt.Errorf("core: ctrl poke of tile %d: %w", t.ID, err)
+		}
+		p.ckptPokes.Add(1)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/config"
+	"repro/internal/mcp"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -60,6 +61,10 @@ type Cluster struct {
 
 	transports []transport.Transport
 	fabric     *transport.ChannelFabric
+
+	// ckpt, if set via SetCheckpoint before Run, enables MCP-initiated
+	// checkpoints and direct idle-cluster capture.
+	ckpt *mcp.CheckpointPolicy
 
 	skewMu   sync.Mutex
 	skew     []SkewSample

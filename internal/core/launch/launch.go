@@ -130,6 +130,8 @@ type child struct {
 type Group struct {
 	mu       sync.Mutex
 	children []*child
+	died     chan struct{}
+	diedOnce sync.Once
 }
 
 // Start launches cmd under the group's supervision.
@@ -141,12 +143,36 @@ func (g *Group) Start(cmd *exec.Cmd) error {
 	go func() {
 		c.err = cmd.Wait()
 		close(c.reaped)
+		g.noteDeath()
 	}()
 	g.mu.Lock()
 	g.children = append(g.children, c)
 	g.mu.Unlock()
 	registerLive(g)
 	return nil
+}
+
+// Died returns a channel closed the first time any supervised child
+// exits — for any reason, including a clean exit. A coordinator selects
+// on it only while the run is in flight (a worker has no business
+// exiting before the acknowledged teardown), so the close that every
+// normal teardown eventually triggers is observed by no one.
+func (g *Group) Died() <-chan struct{} {
+	return g.diedChan()
+}
+
+func (g *Group) diedChan() chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.died == nil {
+		g.died = make(chan struct{})
+	}
+	return g.died
+}
+
+func (g *Group) noteDeath() {
+	d := g.diedChan()
+	g.diedOnce.Do(func() { close(d) })
 }
 
 func (g *Group) snapshot() []*child {

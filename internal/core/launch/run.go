@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/mcp"
@@ -19,6 +21,11 @@ import (
 	"repro/internal/transport"
 	"repro/internal/workloads"
 )
+
+// ErrWorkerDied reports that a worker OS process exited while the run was
+// still in flight. Run treats it as recoverable (re-fork and replay, up to
+// MaxRestarts); a manual Coordinate surfaces it to the caller.
+var ErrWorkerDied = errors.New("launch: worker process died mid-run")
 
 // Spec describes one simulation distributed across Config.Processes OS
 // processes.
@@ -50,6 +57,43 @@ type Spec struct {
 	// WorkerOutput receives forked workers' stdout+stderr (Run only;
 	// default os.Stderr).
 	WorkerOutput io.Writer
+
+	// CheckpointDir and CheckpointEvery enable auto-checkpointing: the
+	// MCP quiesces the fabric every CheckpointEvery barrier epochs and
+	// every process serializes its simulation state under CheckpointDir
+	// (shared filesystem, or per-machine paths on a manual multi-host
+	// launch). Both must be set for checkpoints to happen.
+	CheckpointDir   string
+	CheckpointEvery int64
+	// ConfigDigest stamps checkpoint manifests with the run's canonical
+	// configuration hash (scenario.Digest); restore refuses a manifest
+	// carrying a different digest.
+	ConfigDigest string
+	// MaxRestarts bounds how many times Run re-forks the workers and
+	// replays the run after a worker process dies (0: die on first loss).
+	MaxRestarts int
+	// RestartBackoff is the delay before the first re-fork, doubled per
+	// subsequent attempt and capped at 5s (0: 250ms).
+	RestartBackoff time.Duration
+	// Generation is the recovery attempt number carried in the fabric
+	// handshake so zombie workers of a dead attempt cannot rejoin (Run
+	// manages it; manual Coordinate launches may leave it 0 = unchecked).
+	Generation uint64
+	// Verify maps barrier epoch → expected per-process state digests; a
+	// replay whose checkpoint digests diverge is reported through the
+	// checkpoint error path (and aborts the run when StrictVerify is
+	// set). Run fills it from the dead attempt's manifests on recovery.
+	Verify       map[int64][]string
+	StrictVerify bool
+	// ChaosExitMS, when nonzero, instructs the first forked worker to
+	// SIGKILL itself after this many wall-clock milliseconds —
+	// fault-injection for recovery tests and the CI chaos smoke. Run
+	// clears it after the first death so the replay can complete.
+	ChaosExitMS int
+	// WorkerDied, when non-nil, makes Coordinate abort with
+	// ErrWorkerDied if the channel closes mid-run. Run wires it to its
+	// worker Group; manual coordinators may supply their own signal.
+	WorkerDied <-chan struct{}
 }
 
 // Result is the outcome of a multi-process run.
@@ -103,6 +147,7 @@ func Coordinate(spec *Spec) (*Result, error) {
 		Route:       transport.StripedRoute(cfg.Processes),
 		DialTimeout: spec.DialTimeout,
 		FabricID:    spec.FabricID,
+		Generation:  spec.Generation,
 	})
 	if err != nil {
 		return nil, err
@@ -115,13 +160,47 @@ func Coordinate(spec *Spec) (*Result, error) {
 		return nil, err
 	}
 	defer proc.Close()
+	if spec.CheckpointDir != "" && spec.CheckpointEvery > 0 {
+		proc.MCP.SetCheckpoint(&mcp.CheckpointPolicy{
+			Dir:          spec.CheckpointDir,
+			Every:        spec.CheckpointEvery,
+			FabricID:     spec.FabricID,
+			Generation:   spec.Generation,
+			ConfigDigest: spec.ConfigDigest,
+			Verify:       spec.Verify,
+			StrictVerify: spec.StrictVerify,
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "launch: checkpoint: %v\n", err)
+			},
+		})
+		proc.SetCheckpoint(spec.CheckpointDir, spec.ConfigDigest)
+	}
 	proc.Start()
 
 	start := time.Now()
 	if err := proc.MCP.StartMain(0); err != nil {
 		return nil, err
 	}
-	<-proc.MCP.Done()
+	select {
+	case <-proc.MCP.Done():
+	case err := <-proc.MCP.CkptFailed():
+		// StrictVerify divergence: the epoch release was withheld, the
+		// fabric is parked; the deferred teardown dismantles it.
+		return nil, fmt.Errorf("launch: %w", err)
+	case <-spec.WorkerDied:
+		// A worker process is gone; every cross-process transaction it
+		// owed an answer to would hang forever. Abort — the deferred
+		// proc/transport teardown unwinds the local threads — and let
+		// Run decide whether to re-fork and replay.
+		return nil, ErrWorkerDied
+	case <-proc.MCP.Stopped():
+		// The MCP's receive loop ended before the run did: the transport
+		// failed the fabric underneath us (a peer write error closes it;
+		// see transport.closedOr). Same recovery decision as a reaped
+		// worker — this is how a manual Coordinate without a worker
+		// Group observes a lost peer.
+		return nil, fmt.Errorf("%w (fabric transport failed)", ErrWorkerDied)
+	}
 	wall := time.Since(start)
 	proc.Wait()
 	proc.MCP.FlushCaches()
@@ -194,11 +273,62 @@ func Run(spec *Spec) (*Result, error) {
 		workerOut = os.Stderr
 	}
 
+	backoff := s.RestartBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	const backoffCap = 5 * time.Second
+	for attempt := 0; ; attempt++ {
+		// Generation 1 is the first launch; each recovery re-fork bumps
+		// it, so a zombie worker of a dead attempt fails the handshake
+		// instead of injecting stale traffic into the replacement fabric.
+		s.Generation = uint64(attempt + 1)
+		res, err := runAttempt(&s, exe, workerOut)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrWorkerDied) || attempt >= s.MaxRestarts {
+			return res, err
+		}
+		// Recover by deterministic replay: re-fork everything and re-run
+		// from the start, verifying the replay's checkpoint digests
+		// against the manifests the dead attempt left behind. The final
+		// workload checksum — the run's identity criterion — is produced
+		// by the surviving attempt exactly as an uninterrupted run would
+		// have produced it. Digest-chain verification is armed only for
+		// single-application-thread runs: that is the repo's determinism
+		// boundary for timing-dependent state (multi-thread runs
+		// guarantee the checksum, not cycle-exact state), so comparing
+		// multi-thread digests would only report noise.
+		if s.CheckpointDir != "" && s.Threads <= 1 {
+			if ms, lerr := checkpoint.LoadManifests(s.CheckpointDir); lerr == nil && len(ms) > 0 {
+				v := make(map[int64][]string, len(ms))
+				for _, m := range ms {
+					v[m.Epoch] = m.VerifyDigests()
+				}
+				s.Verify = v
+			}
+		}
+		// The fault injector did its job once; the replay must survive.
+		s.ChaosExitMS = 0
+		fmt.Fprintf(os.Stderr, "launch: worker died (attempt %d/%d); re-forking in %v\n",
+			attempt+1, s.MaxRestarts+1, backoff)
+		time.Sleep(backoff) //graphite:wallclock recovery backoff paces host-level re-forks; no simulated clock exists between attempts
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
+}
+
+// runAttempt forks the workers for one generation, coordinates the run,
+// and guarantees the children of this attempt are dead and reaped when it
+// returns, whatever the outcome.
+func runAttempt(s *Spec, exe string, workerOut io.Writer) (*Result, error) {
 	cfg := s.Config
 	cfg.Transport = config.TransportTCP
 	g := &Group{}
-	for p := 1; p < procs; p++ {
-		payload, err := json.Marshal(&WorkerSpec{
+	for p := 1; p < cfg.Processes; p++ {
+		ws := &WorkerSpec{
 			Proc:          p,
 			Hosts:         s.Hosts,
 			Workload:      s.Workload,
@@ -206,9 +336,16 @@ func Run(spec *Spec) (*Result, error) {
 			Scale:         s.Scale,
 			DialTimeoutMS: int(s.DialTimeout / time.Millisecond),
 			FabricID:      s.FabricID,
+			Generation:    s.Generation,
+			CheckpointDir: s.CheckpointDir,
+			ConfigDigest:  s.ConfigDigest,
 			Verbose:       s.WorkerVerbose,
 			Config:        cfg,
-		})
+		}
+		if p == 1 {
+			ws.ChaosExitMS = s.ChaosExitMS
+		}
+		payload, err := json.Marshal(ws)
 		if err != nil {
 			g.Kill()
 			g.Wait()
@@ -225,7 +362,11 @@ func Run(spec *Spec) (*Result, error) {
 		}
 	}
 
-	res, err := Coordinate(&s)
+	sc := *s
+	if cfg.Processes > 1 {
+		sc.WorkerDied = g.Died()
+	}
+	res, err := Coordinate(&sc)
 	if err != nil {
 		g.Kill()
 		g.Wait()

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"syscall"
 	"time"
 
 	"repro/internal/arch"
@@ -42,6 +43,18 @@ type WorkerSpec struct {
 	// concurrent runs racing over recycled localhost ports cannot
 	// cross-connect (0: unchecked — manual multi-host launches).
 	FabricID uint64 `json:"fabric_id,omitempty"`
+	// Generation pins the recovery attempt in the handshake so a zombie
+	// worker from a dead attempt cannot rejoin the replacement fabric
+	// (0: unchecked).
+	Generation uint64 `json:"generation,omitempty"`
+	// CheckpointDir, when set, is where this worker writes its per-process
+	// checkpoint state when the MCP orders a save; ConfigDigest stamps it.
+	CheckpointDir string `json:"checkpoint_dir,omitempty"`
+	ConfigDigest  string `json:"config_digest,omitempty"`
+	// ChaosExitMS, when nonzero, makes the worker SIGKILL itself after
+	// this many wall-clock milliseconds — fault injection for recovery
+	// tests and the CI chaos smoke.
+	ChaosExitMS int `json:"chaos_exit_ms,omitempty"`
 	// Verbose logs serve/teardown progress to stderr.
 	Verbose bool `json:"verbose,omitempty"`
 	// Config is the full simulation configuration, identical across
@@ -91,6 +104,14 @@ func RunWorker(ws *WorkerSpec) error {
 	if ws.Proc <= 0 || ws.Proc >= cfg.Processes {
 		return fmt.Errorf("launch: worker proc %d out of range (1..%d)", ws.Proc, cfg.Processes-1)
 	}
+	if ws.ChaosExitMS > 0 {
+		// Fault injection: die the hard way (no teardown, no ack) so the
+		// coordinator exercises the same recovery path a crashed or
+		// OOM-killed worker would trigger.
+		time.AfterFunc(time.Duration(ws.ChaosExitMS)*time.Millisecond, func() { //graphite:wallclock chaos fault injection kills the host process; simulated time is irrelevant to the victim
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		})
+	}
 	tr, err := transport.DialTCP(transport.TCPConfig{
 		Proc:        arch.ProcID(ws.Proc),
 		Procs:       cfg.Processes,
@@ -98,6 +119,7 @@ func RunWorker(ws *WorkerSpec) error {
 		Route:       transport.StripedRoute(cfg.Processes),
 		DialTimeout: time.Duration(ws.DialTimeoutMS) * time.Millisecond,
 		FabricID:    ws.FabricID,
+		Generation:  ws.Generation,
 	})
 	if err != nil {
 		return err
@@ -108,6 +130,9 @@ func RunWorker(ws *WorkerSpec) error {
 	proc, err := core.NewProc(arch.ProcID(ws.Proc), &cfg, prog, tr)
 	if err != nil {
 		return err
+	}
+	if ws.CheckpointDir != "" {
+		proc.SetCheckpoint(ws.CheckpointDir, ws.ConfigDigest)
 	}
 	done := make(chan struct{})
 	proc.OnShutdown = func() { close(done) }

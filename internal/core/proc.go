@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
@@ -48,6 +49,14 @@ type Proc struct {
 	// OnShutdown, if set before Start, runs when the MCP announces
 	// teardown (worker OS processes use it to exit).
 	OnShutdown func()
+
+	// ckpt, if set before any thread starts, enables the LCP's
+	// checkpoint-save callback (see checkpoint.go). ckptPokes counts the
+	// control packets sent to local tiles: they arrive on the memory
+	// class, so the drain probe must subtract them from the tiles'
+	// receive counters or sent/recv would never balance again.
+	ckpt      *ckptConfig
+	ckptPokes atomic.Uint64
 
 	threads sync.WaitGroup
 }
@@ -112,6 +121,8 @@ func NewProc(id arch.ProcID, cfg *config.Config, prog Program, tr transport.Tran
 				p.ledger.Release(epoch)
 			}
 		},
+		CkptProbe: p.ckptProbe,
+		CkptSave:  p.ckptSave,
 	})
 
 	if id == 0 {
@@ -160,7 +171,13 @@ func (p *Proc) startThread(st mcp.StartThread, start arch.Cycles) {
 		if m := p.newSyncModel(tile); m != nil {
 			th.tickFn = m.Tick
 		}
-		p.prog.Funcs[st.Func](th, st.Arg)
+		if !p.runThreadFunc(p.prog.Funcs[st.Func], th, st.Arg) {
+			// The simulation was dismantled under the thread (teardown of
+			// a wedged or recovering run). The control plane is gone, so
+			// there is no one to notify; just exit.
+			tile.active.Store(false)
+			return
+		}
 		tile.active.Store(false)
 		if p.ledger != nil {
 			// Before the MCP hears of the exit: the departure may complete
@@ -172,6 +189,23 @@ func (p *Proc) startThread(st mcp.StartThread, start arch.Cycles) {
 		tile.Mem.SetFinal(tile.Clock.Now(), instr, br, miss, comp, mem)
 		tile.sys.notify(mcp.MsgThreadExit, mcpTile, nil, tile.Clock.Now())
 	}()
+}
+
+// runThreadFunc executes one application thread function, absorbing the
+// tornDown panic that Thread APIs throw when the simulation is torn down
+// under a live thread. It reports whether the function ran to completion;
+// any other panic propagates unchanged.
+func (p *Proc) runThreadFunc(fn ThreadFunc, th *Thread, arg uint64) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(tornDown); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(th, arg)
+	return true
 }
 
 // newSyncModel instantiates the configured synchronization model for a

@@ -56,6 +56,18 @@ type Thread struct {
 // mcpTile addresses the MCP endpoint as a TileID.
 const mcpTile = arch.TileID(transport.MCP)
 
+// tornDown is the panic value Thread APIs throw when the simulation is
+// dismantled under a still-running application thread — teardown of a
+// wedged or recovering run closes the transport and wakes parked
+// threads, whose next control-plane call cannot complete. startThread
+// recovers exactly this type and lets the goroutine exit quietly; any
+// other panic is an application or simulator bug and propagates.
+type tornDown string
+
+func (e tornDown) Error() string {
+	return "graphite: simulation torn down during " + string(e)
+}
+
 // Small fixed instruction costs for operations not individually modeled.
 const (
 	sendCost   arch.Cycles = 10
@@ -154,7 +166,7 @@ func (t *Thread) StoreF64(addr arch.Addr, v float64) {
 func (t *Thread) Malloc(n arch.Addr) arch.Addr {
 	pkt, ok := t.call(mcp.MsgMalloc, mcp.EncodeU64(uint64(n)))
 	if !ok {
-		panic("graphite: simulation torn down during malloc")
+		panic(tornDown("malloc"))
 	}
 	addr, err := mcp.DecodeU64(pkt.Payload)
 	if err != nil {
@@ -180,7 +192,7 @@ func (t *Thread) Free(addr arch.Addr) {
 func (t *Thread) Spawn(fn int, arg uint64) arch.ThreadID {
 	pkt, ok := t.call(mcp.MsgSpawn, mcp.EncodeSpawnReq(mcp.SpawnReq{Func: uint32(fn), Arg: arg}))
 	if !ok {
-		panic("graphite: simulation torn down during spawn")
+		panic(tornDown("spawn"))
 	}
 	tid64, _, err := mcp.DecodeU64Pair(pkt.Payload)
 	if err != nil {
@@ -201,7 +213,7 @@ func (t *Thread) Join(tid arch.ThreadID) {
 	before := t.Now()
 	pkt, ok := t.call(mcp.MsgJoin, mcp.EncodeU64(uint64(tid)))
 	if !ok {
-		panic("graphite: simulation torn down during join")
+		panic(tornDown("join"))
 	}
 	t.forward(pkt.Time)
 	t.waited(before)
@@ -214,7 +226,7 @@ func (t *Thread) MutexLock(m arch.Addr) {
 	before := t.Now()
 	pkt, ok := t.call(mcp.MsgMutexLock, mcp.EncodeU64(uint64(m)))
 	if !ok {
-		panic("graphite: simulation torn down during lock")
+		panic(tornDown("lock"))
 	}
 	t.forward(pkt.Time)
 	t.waited(before)
@@ -234,7 +246,7 @@ func (t *Thread) BarrierWait(b arch.Addr, n int) {
 	before := t.Now()
 	pkt, ok := t.call(mcp.MsgBarrierWait, mcp.EncodeU64Pair(uint64(b), uint64(n)))
 	if !ok {
-		panic("graphite: simulation torn down during barrier")
+		panic(tornDown("barrier"))
 	}
 	t.forward(pkt.Time)
 	t.waited(before)
@@ -247,7 +259,7 @@ func (t *Thread) CondWait(c, m arch.Addr) {
 	before := t.Now()
 	pkt, ok := t.call(mcp.MsgCondWait, mcp.EncodeU64Pair(uint64(c), uint64(m)))
 	if !ok {
-		panic("graphite: simulation torn down during cond wait")
+		panic(tornDown("cond wait"))
 	}
 	t.forward(pkt.Time)
 	t.waited(before)
@@ -285,7 +297,7 @@ func (t *Thread) Recv() (arch.ThreadID, []byte) {
 	pkt, ok := t.tile.Net.Recv(network.ClassApp)
 	t.tile.setRPCBlocked(false)
 	if !ok {
-		panic("graphite: simulation torn down during recv")
+		panic(tornDown("recv"))
 	}
 	t.forward(pkt.Time + recvCost)
 	t.waited(before)
@@ -302,7 +314,7 @@ func (t *Thread) RecvFrom(src arch.ThreadID) []byte {
 	})
 	t.tile.setRPCBlocked(false)
 	if !ok {
-		panic("graphite: simulation torn down during recv")
+		panic(tornDown("recv"))
 	}
 	t.forward(pkt.Time + recvCost)
 	t.waited(before)
@@ -319,7 +331,7 @@ func (t *Thread) FileOp(req mcp.FileReq) mcp.FileRep {
 	}
 	pkt, ok := t.call(mcp.MsgFileOp, buf.Bytes())
 	if !ok {
-		panic("graphite: simulation torn down during file op")
+		panic(tornDown("file op"))
 	}
 	var rep mcp.FileRep
 	if err := gob.NewDecoder(bytes.NewReader(pkt.Payload)).Decode(&rep); err != nil {

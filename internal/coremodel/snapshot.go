@@ -1,0 +1,55 @@
+package coremodel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/checkpoint"
+)
+
+// Capture snapshots the model's dynamic state: synthetic PC, fetched
+// line, predictor table, store buffer, and retirement counters. The
+// configuration-derived fields (costs, masks, geometry) are re-derived by
+// New at restore time.
+func (c *Core) Capture() *checkpoint.CoreState {
+	s := &checkpoint.CoreState{
+		PC:           uint64(c.pc),
+		FetchedLine:  uint64(c.fetchedLn),
+		Predictor:    append([]uint8(nil), c.predictor...),
+		Instructions: c.instructions,
+		Branches:     c.branches,
+		Mispredicts:  c.mispredicts,
+		ComputeCyc:   int64(c.computeCyc),
+		MemStallCyc:  int64(c.memStallCyc),
+	}
+	if c.storeBuf != nil {
+		s.StoreBuf = make([]int64, len(c.storeBuf))
+		for i, t := range c.storeBuf {
+			s.StoreBuf[i] = int64(t)
+		}
+	}
+	return s
+}
+
+// Restore overwrites the model's dynamic state from a snapshot taken by
+// Capture on an identically configured core.
+func (c *Core) Restore(s *checkpoint.CoreState) error {
+	if len(s.Predictor) != len(c.predictor) {
+		return fmt.Errorf("coremodel: restore predictor size mismatch: snapshot %d, core %d", len(s.Predictor), len(c.predictor))
+	}
+	if len(s.StoreBuf) != len(c.storeBuf) {
+		return fmt.Errorf("coremodel: restore store-buffer size mismatch: snapshot %d, core %d", len(s.StoreBuf), len(c.storeBuf))
+	}
+	c.pc = arch.Addr(s.PC)
+	c.fetchedLn = arch.Addr(s.FetchedLine)
+	copy(c.predictor, s.Predictor)
+	for i, t := range s.StoreBuf {
+		c.storeBuf[i] = arch.Cycles(t)
+	}
+	c.instructions = s.Instructions
+	c.branches = s.Branches
+	c.mispredicts = s.Mispredicts
+	c.computeCyc = arch.Cycles(s.ComputeCyc)
+	c.memStallCyc = arch.Cycles(s.MemStallCyc)
+	return nil
+}

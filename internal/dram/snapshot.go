@@ -1,0 +1,44 @@
+package dram
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/checkpoint"
+)
+
+// Capture snapshots the controller's functional backing store (lines in
+// ascending address order, so the encoding is canonical) and its
+// counters. The lax queue model's window state is deliberately excluded:
+// it shapes contention latency, not architectural state, and recovery
+// re-derives it by deterministic replay (DESIGN.md §18).
+func (c *Controller) Capture() *checkpoint.DRAMState {
+	s := &checkpoint.DRAMState{
+		Lines:           make([]checkpoint.DRAMLine, 0, len(c.store)),
+		Reads:           c.Reads,
+		Writes:          c.Writes,
+		TotalQueueDelay: int64(c.TotalQueueDelay),
+	}
+	//graphite:maporder lines are sorted by address below, so iteration
+	// order never reaches the snapshot.
+	for line, data := range c.store {
+		s.Lines = append(s.Lines, checkpoint.DRAMLine{Addr: line, Data: append([]byte(nil), data...)})
+	}
+	sort.Slice(s.Lines, func(i, j int) bool { return s.Lines[i].Addr < s.Lines[j].Addr })
+	return s
+}
+
+// Restore replaces the controller's backing store and counters with a
+// snapshot taken by Capture on an identically configured controller.
+func (c *Controller) Restore(s *checkpoint.DRAMState) {
+	c.store = make(map[uint64][]byte, len(s.Lines))
+	c.slab = nil
+	for _, ln := range s.Lines {
+		buf := c.lineBuf()
+		copy(buf, ln.Data)
+		c.store[ln.Addr] = buf
+	}
+	c.Reads = s.Reads
+	c.Writes = s.Writes
+	c.TotalQueueDelay = arch.Cycles(s.TotalQueueDelay)
+}

@@ -30,6 +30,17 @@ type LCPCallbacks struct {
 	// LaxBarrier epoch for this process's batched waiters; the process
 	// ledger wakes the parked threads.
 	SimRelease func(epoch int64)
+	// CkptProbe, if non-nil, reports the process's drain status: summed
+	// memory-class traffic counters over local tiles and whether every
+	// local memory node is quiesced. It must not block.
+	CkptProbe func() CkptProbeRep
+	// CkptSave, if non-nil, serializes the process's complete simulation
+	// state for the given epoch and returns the manifest entry. It runs on
+	// the LCP serve goroutine and may block: during a save the simulation
+	// is globally drained and parked, so no other ClassSystem traffic
+	// needs this loop (the epoch release is stashed at the MCP until every
+	// save acknowledgement is in).
+	CkptSave func(epoch int64) CkptSaveResult
 }
 
 // LCP is the Local Control Program: one per host process. It executes
@@ -89,6 +100,32 @@ func (l *LCP) Serve() {
 			}
 			if l.cb.SimRelease != nil {
 				l.cb.SimRelease(int64(epoch64))
+			}
+		case MsgCkptProbe:
+			var rep CkptProbeRep
+			if l.cb.CkptProbe != nil {
+				rep = l.cb.CkptProbe()
+			} else {
+				rep.Quiesced = true
+			}
+			if _, err := l.net.Send(network.ClassSystem, MsgCkptProbeRep, pkt.Src, pkt.Seq, EncodeCkptProbeRep(rep), 0); err != nil && !errors.Is(err, transport.ErrClosed) {
+				panic("mcp: ckpt probe reply: " + err.Error())
+			}
+		case MsgCkptSave:
+			epoch64, err := DecodeU64(pkt.Payload)
+			if err != nil {
+				panic("mcp: " + err.Error())
+			}
+			res := CkptSaveResult{Proc: int32(l.proc), Err: "process has no checkpoint support"}
+			if l.cb.CkptSave != nil {
+				res = l.cb.CkptSave(int64(epoch64))
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&res); err != nil {
+				panic("mcp: encode ckpt save reply: " + err.Error())
+			}
+			if _, err := l.net.Send(network.ClassSystem, MsgCkptSaveRep, pkt.Src, pkt.Seq, buf.Bytes(), 0); err != nil && !errors.Is(err, transport.ErrClosed) {
+				panic("mcp: ckpt save reply: " + err.Error())
 			}
 		case MsgShutdown:
 			// Acknowledge-then-close: the ack (carrying this process's

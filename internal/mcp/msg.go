@@ -93,6 +93,18 @@ const (
 	// message per worker process instead of one RPC per tile.
 	MsgSimBarrierBatch
 	MsgSimBarrierRelease
+
+	// Checkpoint protocol (MCP <-> LCP; DESIGN.md §18). The MCP probes
+	// each process's drain status (MsgCkptProbe / MsgCkptProbeRep) until
+	// residual memory traffic settles, then orders each process to
+	// serialize its state (MsgCkptSave, carrying the epoch) and collects
+	// the gob-encoded CkptSaveResult acknowledgements (MsgCkptSaveRep)
+	// before writing the manifest and performing the stashed barrier
+	// release.
+	MsgCkptProbe
+	MsgCkptProbeRep
+	MsgCkptSave
+	MsgCkptSaveRep
 )
 
 // MsgName returns a human-readable message name for diagnostics.
@@ -105,6 +117,7 @@ func MsgName(t uint8) string {
 		"SimBarrier", "SimBarrierRep", "FileOp", "FileRep", "StatsGather",
 		"StatsRep", "Flush", "FlushRep", "Shutdown", "ShutdownRep",
 		"SimBarrierBatch", "SimBarrierRelease",
+		"CkptProbe", "CkptProbeRep", "CkptSave", "CkptSaveRep",
 	}
 	if int(t) < len(names) {
 		return names[t]
@@ -216,6 +229,48 @@ func AppendSimBatch(dst []SimWait, b []byte) ([]SimWait, error) {
 // DecodeSimBatch parses a batch of barrier waits.
 func DecodeSimBatch(b []byte) ([]SimWait, error) {
 	return AppendSimBatch(nil, b)
+}
+
+// CkptProbeRep is one process's drain-status report: cumulative
+// memory-class packets sent and received across its local tiles, and
+// whether every local memory node is individually quiesced.
+type CkptProbeRep struct {
+	Sent, Recv uint64
+	Quiesced   bool
+}
+
+// EncodeCkptProbeRep serializes a CkptProbeRep.
+func EncodeCkptProbeRep(r CkptProbeRep) []byte {
+	b := make([]byte, 17)
+	binary.LittleEndian.PutUint64(b[0:8], r.Sent)
+	binary.LittleEndian.PutUint64(b[8:16], r.Recv)
+	if r.Quiesced {
+		b[16] = 1
+	}
+	return b
+}
+
+// DecodeCkptProbeRep parses a CkptProbeRep.
+func DecodeCkptProbeRep(b []byte) (CkptProbeRep, error) {
+	if len(b) != 17 {
+		return CkptProbeRep{}, fmt.Errorf("mcp: bad ckpt probe reply (%d bytes)", len(b))
+	}
+	return CkptProbeRep{
+		Sent:     binary.LittleEndian.Uint64(b[0:8]),
+		Recv:     binary.LittleEndian.Uint64(b[8:16]),
+		Quiesced: b[16] != 0,
+	}, nil
+}
+
+// CkptSaveResult is one process's save acknowledgement (gob payload of
+// MsgCkptSaveRep): the manifest entry for its state file, or the error
+// that prevented writing it.
+type CkptSaveResult struct {
+	Proc        int32
+	File        string
+	FileSum     string
+	StateDigest string
+	Err         string
 }
 
 // EncodeU64Pair serializes two uint64s (cond/mutex address pairs,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/network"
 	"repro/internal/stats"
@@ -87,11 +88,32 @@ type Server struct {
 	conds    map[arch.Addr]*condRec
 
 	simWaits map[arch.TileID]simWait
-	// simBatch and releaseProcs are serve-loop scratch (one goroutine):
-	// reused across quanta so the steady-state barrier service does not
-	// allocate per round.
-	simBatch     []SimWait
-	releaseProcs map[arch.ProcID]bool
+	// simBatch, releaseProcs, and releaseDirect are serve-loop scratch
+	// (one goroutine): reused across quanta so the steady-state barrier
+	// service does not allocate per round. When a checkpoint intercepts a
+	// release, releaseProcs/releaseDirect hold the stashed release until
+	// the save completes; no recheck can run in between (every unblocked
+	// thread is parked on that very release), so they stay intact.
+	simBatch      []SimWait
+	releaseProcs  map[arch.ProcID]bool
+	releaseDirect []replyTo
+
+	// Checkpoint state machine (see checkpoint.go). All fields are
+	// serve-goroutine-private except ckpt (set before Serve runs) and
+	// ckptFailed (read by launchers).
+	ckpt         *CheckpointPolicy
+	ckptLast     int64
+	ckptEpoch    int64
+	ckptMCP      *checkpoint.MCPState
+	ckptAcks     int
+	ckptSent     uint64
+	ckptRecv     uint64
+	ckptQuiesced bool
+	ckptPrevSent uint64
+	ckptPrevRecv uint64
+	ckptRounds   int
+	ckptSaves    []CkptSaveResult
+	ckptFailed   chan error
 
 	statsCh chan []stats.Tile
 	flushCh chan struct{}
@@ -121,6 +143,7 @@ func NewServer(cfg *config.Config, net *network.Net) *Server {
 		conds:        make(map[arch.Addr]*condRec),
 		simWaits:     make(map[arch.TileID]simWait),
 		releaseProcs: make(map[arch.ProcID]bool),
+		ckptFailed:   make(chan error, 1),
 		statsCh:      make(chan []stats.Tile, cfg.Processes),
 		flushCh:      make(chan struct{}, cfg.Processes),
 		shutCh:       make(chan shutdownAck, cfg.Processes),
@@ -219,6 +242,10 @@ func (s *Server) handle(pkt network.Packet) {
 		s.handleSimBarrierBatch(pkt)
 	case MsgFileOp:
 		s.handleFileOp(pkt, to)
+	case MsgCkptProbeRep:
+		s.handleCkptProbeRep(pkt)
+	case MsgCkptSaveRep:
+		s.handleCkptSaveRep(pkt)
 	case MsgStatsRep:
 		var tiles []stats.Tile
 		dec := gob.NewDecoder(bytes.NewReader(pkt.Payload))
@@ -524,27 +551,44 @@ func (s *Server) recheckSimBarrier() {
 			min = w.epoch
 		}
 	}
-	procs := s.releaseProcs
-	clear(procs)
+	clear(s.releaseProcs)
+	s.releaseDirect = s.releaseDirect[:0]
 	//graphite:maporder releases go to disjoint tiles/processes; the fabric orders only per-pair FIFO, so wake order was never defined, and released threads re-synchronize at the next quantum regardless
 	for tile, w := range s.simWaits {
 		if w.epoch != min {
 			continue
 		}
 		if w.batched {
-			procs[s.cfg.ProcOf(tile)] = true
+			s.releaseProcs[s.cfg.ProcOf(tile)] = true
 		} else {
-			s.reply(MsgSimBarrierRep, w.to, nil, 0)
+			s.releaseDirect = append(s.releaseDirect, w.to)
 		}
 		delete(s.simWaits, tile)
 	}
+	// A checkpoint-eligible epoch intercepts the release: the collected
+	// targets stay stashed in releaseProcs/releaseDirect until the save
+	// completes, and releaseEpoch runs from the checkpoint machine.
+	if s.maybeCheckpoint(min) {
+		return
+	}
+	s.releaseEpoch(min)
+}
+
+// releaseEpoch performs a collected epoch release: one notification per
+// batched process, one reply per direct RPC waiter.
+func (s *Server) releaseEpoch(min int64) {
+	for _, to := range s.releaseDirect {
+		s.reply(MsgSimBarrierRep, to, nil, 0)
+	}
+	s.releaseDirect = s.releaseDirect[:0]
 	//graphite:maporder one release notification per distinct process; delivery order across processes is unordered by the fabric anyway
-	for proc := range procs {
+	for proc := range s.releaseProcs {
 		dst := arch.TileID(transport.LCP(proc))
 		if _, err := s.net.Send(network.ClassSystem, MsgSimBarrierRelease, dst, 0, EncodeU64(uint64(min)), 0); err != nil && !errors.Is(err, transport.ErrClosed) {
 			panic("mcp: barrier release failed: " + err.Error())
 		}
 	}
+	clear(s.releaseProcs)
 }
 
 func (s *Server) handleFileOp(pkt network.Packet, to replyTo) {

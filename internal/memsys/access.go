@@ -201,8 +201,17 @@ func (n *Node) miss(line cache.LineAddr, off int, seg []byte, isWrite, ifetch bo
 
 	pkt, ok := <-pr.done
 	if !ok {
-		// Teardown while blocked: re-mark the word owned (the enclosing
-		// accessLine releases it) and report the lookup cost only.
+		// Teardown while blocked: the server exited without the completion
+		// hand-off, so the staged request is still in the slot — clear it,
+		// or a thread that keeps running into more accesses would trip the
+		// concurrent-outstanding-requests check on a phantom request. Then
+		// re-mark the word owned (the enclosing accessLine releases it) and
+		// report the lookup cost only.
+		n.mu.Lock()
+		if n.pending == pr {
+			n.pending = nil
+		}
+		n.mu.Unlock()
 		n.coreState.Store(stCoreActive)
 		return AccessResult{Latency: lookup, L2Misses: 1}
 	}
@@ -496,6 +505,12 @@ func (n *Node) peekLine(addr arch.Addr, buf []byte) {
 	n.mu.Unlock()
 	pkt, ok := <-pr.done
 	if !ok {
+		// Teardown: clear the staged request (see the miss path).
+		n.mu.Lock()
+		if n.pending == pr {
+			n.pending = nil
+		}
+		n.mu.Unlock()
 		return
 	}
 	p, err := decodePeek(pkt.Payload)
@@ -518,7 +533,14 @@ func (n *Node) pokeLine(addr arch.Addr, buf []byte) {
 	home := n.homeOf(n.lineOf(addr))
 	n.send(msgPoke, home, pr.seq, n.coreEncPeek(peekPayload{addr: addr, n: uint32(len(buf)), data: buf}), 0)
 	n.mu.Unlock()
-	<-pr.done
+	if _, ok := <-pr.done; !ok {
+		// Teardown: clear the staged request (see the miss path).
+		n.mu.Lock()
+		if n.pending == pr {
+			n.pending = nil
+		}
+		n.mu.Unlock()
+	}
 }
 
 // AddSyncWait credits stall cycles to the tile's stat record. Core context

@@ -228,6 +228,12 @@ type Node struct {
 	// flushMeta is FlushAll's reusable victim list.
 	flushMeta []flushVictim
 
+	// ctrlQ holds control functions (checkpoint capture/restore) queued
+	// by EnqueueCtrl for the server goroutine to run on the next msgCkpt
+	// packet, serialized with dispatch like any other message.
+	ctrlMu sync.Mutex
+	ctrlQ  []func()
+
 	lineBits uint
 	lineSize int
 

@@ -161,6 +161,8 @@ func (n *Node) dispatch(pkt network.Packet) (chan network.Packet, network.Packet
 		n.wbAcked()
 	case msgPeek, msgPoke:
 		n.handlePeekPoke(pkt)
+	case msgCkpt:
+		n.runCtrl()
 	}
 	return nil, network.Packet{}
 }

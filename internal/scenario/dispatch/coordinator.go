@@ -54,6 +54,10 @@ type Coordinator struct {
 	specs   []scenario.RunSpec
 	digests []string // coordinator-side config digest per spec
 
+	// afterFunc schedules the delayed requeue of a failed spec (nil:
+	// time.AfterFunc). Tests inject an immediate or recording variant.
+	afterFunc func(time.Duration, func())
+
 	mu           sync.Mutex
 	cond         *sync.Cond
 	conns        map[net.Conn]struct{} // live worker connections (for Cancel)
@@ -428,9 +432,25 @@ func (c *Coordinator) pop() (int, bool) {
 // poisoning the whole fleet and hanging the sweep.
 const maxAttempts = 3
 
+// requeueBackoff paces re-dispatch of a failed spec: 100ms after the
+// first failure, doubling per subsequent one, capped at 2s. An immediate
+// requeue hands the spec straight to the next idle worker, so a
+// correlated outage (fleet restart, a flapping link) burns through all
+// maxAttempts in milliseconds and abandons runs a healthy fleet would
+// have finished; the backoff gives the fleet that recovery window.
+func requeueBackoff(attempt int) time.Duration {
+	const base, max = 100 * time.Millisecond, 2 * time.Second
+	d := base << uint(attempt-1)
+	if d <= 0 || d > max {
+		return max
+	}
+	return d
+}
+
 // requeue returns an in-flight spec to the queue after its connection
-// failed — or, past maxAttempts, records the failure the way a failed
-// single-host run would be recorded, so the sweep still completes.
+// failed — after the backoff delay for this attempt — or, past
+// maxAttempts, records the failure the way a failed single-host run
+// would be recorded, so the sweep still completes.
 func (c *Coordinator) requeue(i int) {
 	c.mu.Lock()
 	if c.done[i] {
@@ -447,9 +467,24 @@ func (c *Coordinator) requeue(i int) {
 		}, false)
 		return
 	}
-	c.queue = append(c.queue, i)
-	c.cond.Broadcast()
+	delay := requeueBackoff(c.attempts[i])
+	after := c.afterFunc
 	c.mu.Unlock()
+	if after == nil {
+		after = func(d time.Duration, f func()) { //graphite:wallclock requeue backoff paces host-level re-dispatch; no simulated clock exists at the sweep layer
+			time.AfterFunc(d, f)
+		}
+	}
+	after(delay, func() {
+		c.mu.Lock()
+		// The spec may have completed meanwhile (an abandonment record,
+		// a racing duplicate) — only a still-open spec re-enters.
+		if !c.done[i] {
+			c.queue = append(c.queue, i)
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	})
 }
 
 // complete stores a record and flushes the in-order prefix. executed

@@ -277,3 +277,79 @@ func TestPoisonSpecAbandonedAfterMaxAttempts(t *testing.T) {
 		t.Fatalf("executed = %d, want 0", c.Executed())
 	}
 }
+
+// TestRequeueBackoffSchedule pins the backoff curve: doubling from 100ms,
+// capped at 2s, and safe against shift overflow at absurd attempt counts.
+func TestRequeueBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{5, 1600 * time.Millisecond},
+		{6, 2 * time.Second},
+		{40, 2 * time.Second},
+		{70, 2 * time.Second}, // base << 69 overflows; the cap must still hold
+	}
+	for _, c := range cases {
+		if got := requeueBackoff(c.attempt); got != c.want {
+			t.Errorf("requeueBackoff(%d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+}
+
+// TestRequeueUsesBackoff: each failed dispatch of a spec must be
+// re-enqueued through the scheduler with that attempt's backoff delay,
+// not immediately.
+func TestRequeueUsesBackoff(t *testing.T) {
+	_, specs := loadTestScenario(t)
+	c, err := NewCoordinator(specs[:1], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var delays []time.Duration
+	c.afterFunc = func(d time.Duration, f func()) {
+		mu.Lock()
+		delays = append(delays, d)
+		mu.Unlock()
+		f() // run immediately: the test asserts scheduling, not pacing
+	}
+
+	for a := 0; a < maxAttempts-1; a++ {
+		conn, r, _, err := attach(c.Addr(), 5*time.Second, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, err := readMsg(r); err != nil || m.Type != msgSpec {
+			t.Fatalf("attempt %d: expected a spec, got %+v, %v", a, m, err)
+		}
+		conn.Close() // die without replying
+	}
+	// A healthy worker finishes the much-requeued spec.
+	done := make(chan error, 1)
+	go func() { done <- Work(c.Addr(), WorkerOptions{Parallel: 1, DialTimeout: 5 * time.Second}) }()
+	records, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("surviving worker: %v", werr)
+	}
+	if len(records) != 1 || records[0].Error != "" {
+		t.Fatalf("want 1 clean record, got %+v", records)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("scheduled %d requeues (%v), want %d", len(delays), delays, len(want))
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Errorf("requeue %d scheduled after %v, want %v", i, delays[i], want[i])
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/core/launch"
+	"repro/internal/mcp"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -261,6 +263,17 @@ func ExecuteStats(spec *RunSpec) (Record, *core.RunStats) {
 		return rec, nil
 	}
 	defer cl.Close()
+	// An in-process run has no worker to lose, so checkpointing here is
+	// pure state capture — only worth the I/O when the policy names a
+	// directory to keep the snapshots in.
+	if cp := spec.Checkpoint; cp != nil && cp.Every > 0 && cp.Dir != "" {
+		cl.SetCheckpoint(&mcp.CheckpointPolicy{
+			Dir:          cp.Dir,
+			Every:        cp.Every,
+			ConfigDigest: rec.ConfigDigest,
+			OnError:      func(err error) { fmt.Fprintf(os.Stderr, "scenario: checkpoint: %v\n", err) },
+		})
+	}
 	rs, err := cl.Run(0)
 	if err != nil {
 		rec.Error = err.Error()
@@ -300,7 +313,7 @@ func executeMultiProcess(spec *RunSpec, rec Record) (Record, *core.RunStats) {
 	cfg := spec.Config
 	cfg.Processes = spec.Processes
 	cfg.Transport = config.TransportTCP
-	res, err := launch.Run(&launch.Spec{
+	ls := &launch.Spec{
 		Workload: spec.Workload,
 		Threads:  spec.Threads,
 		Scale:    spec.Scale,
@@ -308,7 +321,27 @@ func executeMultiProcess(spec *RunSpec, rec Record) (Record, *core.RunStats) {
 		Hosts:    spec.Hosts,
 		PeekAddr: workloads.DefaultResultAddr,
 		PeekLen:  16,
-	})
+	}
+	if cp := spec.Checkpoint; cp != nil && cp.Every > 0 {
+		dir := cp.Dir
+		if dir == "" {
+			// Recovery-only checkpointing: the snapshots exist so a
+			// killed worker costs a replay, not the record; nobody wants
+			// them after the run.
+			tmp, err := os.MkdirTemp("", "graphite-ckpt-*")
+			if err != nil {
+				rec.Error = fmt.Sprintf("checkpoint dir: %v", err)
+				return rec, nil
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		ls.CheckpointDir = dir
+		ls.CheckpointEvery = cp.Every
+		ls.MaxRestarts = cp.MaxRestarts
+		ls.ConfigDigest = rec.ConfigDigest
+	}
+	res, err := launch.Run(ls)
 	if err != nil {
 		rec.Error = err.Error()
 		return rec, nil

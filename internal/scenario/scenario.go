@@ -61,6 +61,26 @@ type Grid struct {
 	Axes []Axis `json:"axes,omitempty"`
 }
 
+// CheckpointPolicy is the per-run checkpoint and recovery policy. For
+// multi-process runs it also arms worker-loss recovery: the coordinator
+// re-forks dead workers and replays, verifying the replay against the
+// saved manifests, so a killed worker costs wall-clock time instead of
+// the run.
+//
+//graphite:wire
+type CheckpointPolicy struct {
+	// Every checkpoints at every Nth barrier epoch (0: checkpointing
+	// off). Requires the LaxBarrier synchronization model — epochs are
+	// the only globally quiescent points.
+	Every int64 `json:"every,omitempty"`
+	// Dir receives the checkpoint files. Empty: a per-run temporary
+	// directory, removed after the run (useful purely for recovery).
+	Dir string `json:"dir,omitempty"`
+	// MaxRestarts bounds worker re-fork recovery attempts for
+	// multi-process runs (0: give up on the first worker loss).
+	MaxRestarts int `json:"max_restarts,omitempty"`
+}
+
 // Scenario is a declarative sweep definition.
 //
 //graphite:wire
@@ -106,6 +126,9 @@ type Scenario struct {
 	// TileStats embeds the per-tile statistics records in every JSONL
 	// record (large; off by default).
 	TileStats bool `json:"tile_stats,omitempty"`
+	// Checkpoint enables per-run checkpointing (and, for multi-process
+	// runs, worker-loss recovery) for every run of the scenario.
+	Checkpoint *CheckpointPolicy `json:"checkpoint,omitempty"`
 	// Base is applied to the preset configuration before grid overrides.
 	Base  map[string]any `json:"base,omitempty"`
 	Grids []Grid         `json:"grids"`
@@ -136,8 +159,10 @@ type RunSpec struct {
 	// Axes records the axis values of this point (for the JSONL record).
 	Axes map[string]any `json:"axes,omitempty"`
 	// TileStats embeds per-tile records in the run's Record.
-	TileStats bool          `json:"tile_stats,omitempty"`
-	Config    config.Config `json:"config"` //graphite:wireexempt Config's wire schema IS its Go field names: config_digest hashes config.Canonical()'s JSON, so retagging would invalidate every recorded digest; the round-trip tests in config freeze it instead
+	TileStats bool `json:"tile_stats,omitempty"`
+	// Checkpoint is the run's checkpoint/recovery policy (nil: off).
+	Checkpoint *CheckpointPolicy `json:"checkpoint,omitempty"`
+	Config     config.Config     `json:"config"` //graphite:wireexempt Config's wire schema IS its Go field names: config_digest hashes config.Canonical()'s JSON, so retagging would invalidate every recorded digest; the round-trip tests in config freeze it instead
 }
 
 // presets maps preset names to base configurations. "default" is the
@@ -294,15 +319,16 @@ func (s *Scenario) resolvePoint(gi, pt int, size string) (*RunSpec, error) {
 		return fail(err)
 	}
 	spec := &RunSpec{
-		Scenario:  s.Name,
-		Grid:      gi,
-		Point:     pt,
-		Workload:  s.Workload,
-		Threads:   s.Threads,
-		Scale:     s.Scale,
-		Processes: s.Processes,
-		Axes:      map[string]any{},
-		TileStats: s.TileStats,
+		Scenario:   s.Name,
+		Grid:       gi,
+		Point:      pt,
+		Workload:   s.Workload,
+		Threads:    s.Threads,
+		Scale:      s.Scale,
+		Processes:  s.Processes,
+		Axes:       map[string]any{},
+		TileStats:  s.TileStats,
+		Checkpoint: s.Checkpoint,
 	}
 	if g.Workload != "" {
 		spec.Workload = g.Workload

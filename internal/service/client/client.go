@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -112,13 +113,61 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// streamRetries bounds StreamRecords' transparent reconnects: after
+// this many consecutive connection attempts that deliver zero new
+// records, the last transport error surfaces to the caller. Any
+// received record resets the budget — a daemon that keeps making
+// progress is retried indefinitely.
+const streamRetries = 5
+
+// errSink marks a failure of the caller's writer, as opposed to the
+// daemon connection. Reconnecting cannot help — the same writer would
+// fail again — so StreamRecords surfaces these immediately.
+var errSink = errors.New("record sink write failed")
+
 // StreamRecords copies the job's JSONL records from index from onward
 // into w, line-verbatim, blocking until the daemon ends the stream (the
-// job settled and every line was delivered) or the connection drops. It
-// returns the number of complete lines written; on error, resume by
-// calling again with from advanced by n — the service's in-order flush
-// makes the line index a stable cursor. Partial lines are never written.
+// job settled and every line was delivered). Dropped connections are
+// retried transparently with capped exponential backoff, resuming at
+// ?from=<lines already written> — the service's in-order flush makes
+// the line index a stable cursor, so each record is written exactly
+// once. Only transport faults are retried: API errors (the job does
+// not exist, the daemon rejected the request) and failures of w
+// surface immediately, as does ctx cancellation. It returns the number
+// of complete lines written; partial lines are never written.
 func (c *Client) StreamRecords(ctx context.Context, id string, from int, w io.Writer) (n int, err error) {
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for dry := 0; ; {
+		m, err := c.streamOnce(ctx, id, from+n, w)
+		n += m
+		if err == nil {
+			return n, nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) || errors.Is(err, errSink) || ctx.Err() != nil {
+			return n, err
+		}
+		if m > 0 {
+			dry, backoff = 0, 100*time.Millisecond
+		} else if dry++; dry >= streamRetries {
+			return n, err
+		}
+		select {
+		case <-ctx.Done():
+			return n, fmt.Errorf("client: record stream: %w", ctx.Err())
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// streamOnce is one connection's worth of StreamRecords: it opens the
+// record stream at index from and copies lines into w until the daemon
+// ends the stream or the connection drops.
+func (c *Client) streamOnce(ctx context.Context, id string, from int, w io.Writer) (n int, err error) {
 	path := "/v1/jobs/" + url.PathEscape(id) + "/records"
 	if from > 0 {
 		path += "?from=" + strconv.Itoa(from)
@@ -143,10 +192,10 @@ func (c *Client) StreamRecords(ctx context.Context, id string, from int, w io.Wr
 			continue
 		}
 		if _, err := w.Write(line); err != nil {
-			return n, fmt.Errorf("client: write record: %w", err)
+			return n, fmt.Errorf("client: %w: %v", errSink, err)
 		}
 		if _, err := w.Write([]byte("\n")); err != nil {
-			return n, fmt.Errorf("client: write record: %w", err)
+			return n, fmt.Errorf("client: %w: %v", errSink, err)
 		}
 		n++
 	}

@@ -1,0 +1,257 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyRecords serves /v1/jobs/{id}/records with a configurable number
+// of connections that are severed mid-stream, then one clean pass. It
+// records the ?from cursor of every connection so tests can assert the
+// client resumed where it left off.
+type flakyRecords struct {
+	mu       sync.Mutex
+	lines    []string
+	dropAt   int // sever the connection after this many lines...
+	drops    int // ...on the first this-many connections
+	attempts int
+	froms    []int
+}
+
+func (f *flakyRecords) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasSuffix(r.URL.Path, "/records") {
+		http.NotFound(w, r)
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, `{"error":"from must be a non-negative integer, got %q"}`, q)
+			return
+		}
+		from = v
+	}
+	f.mu.Lock()
+	f.attempts++
+	sever := f.attempts <= f.drops
+	f.froms = append(f.froms, from)
+	lines := f.lines
+	f.mu.Unlock()
+
+	sent := 0
+	for i := from; i < len(lines); i++ {
+		if sever && sent == f.dropAt {
+			// Sever without a graceful close: the client sees an
+			// unexpected EOF / reset, the same signature as a
+			// crashed or restarted daemon.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("client_test: response writer is not hijackable")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close()
+			return
+		}
+		fmt.Fprintf(w, "%s\n", lines[i])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		sent++
+	}
+}
+
+func testLines(n int) []string {
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = fmt.Sprintf(`{"seq":%d,"checksum":"%016x"}`, i, i*7)
+	}
+	return lines
+}
+
+// TestStreamRecordsResumesAfterDrop drops the connection twice
+// mid-stream and asserts the client transparently reconnects with the
+// line cursor advanced, delivering every record exactly once.
+func TestStreamRecordsResumesAfterDrop(t *testing.T) {
+	srv := &flakyRecords{lines: testLines(10), dropAt: 3, drops: 2}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := c.StreamRecords(context.Background(), "job-1", 0, &buf)
+	if err != nil {
+		t.Fatalf("StreamRecords: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("StreamRecords reported %d lines, want 10", n)
+	}
+	got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	want := testLines(10)
+	if len(got) != len(want) {
+		t.Fatalf("received %d lines, want %d:\n%s", len(got), len(want), buf.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.attempts != 3 {
+		t.Fatalf("server saw %d connections, want 3 (two drops + one clean)", srv.attempts)
+	}
+	// Each reconnect must resume exactly where the previous connection
+	// stopped: 3 lines per severed attempt.
+	if wantFroms := []int{0, 3, 6}; !equalInts(srv.froms, wantFroms) {
+		t.Fatalf("resume cursors %v, want %v", srv.froms, wantFroms)
+	}
+}
+
+// TestStreamRecordsHonorsFromOffset checks the caller-supplied starting
+// cursor composes with reconnect resume.
+func TestStreamRecordsHonorsFromOffset(t *testing.T) {
+	srv := &flakyRecords{lines: testLines(8), dropAt: 2, drops: 1}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := c.StreamRecords(context.Background(), "job-1", 5, &buf)
+	if err != nil {
+		t.Fatalf("StreamRecords: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("StreamRecords reported %d lines, want 3", n)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if wantFroms := []int{5, 7}; !equalInts(srv.froms, wantFroms) {
+		t.Fatalf("resume cursors %v, want %v", srv.froms, wantFroms)
+	}
+}
+
+// TestStreamRecordsAPIErrorNotRetried asserts a daemon-side rejection
+// (e.g. unknown job) surfaces immediately instead of being retried.
+func TestStreamRecordsAPIErrorNotRetried(t *testing.T) {
+	var attempts int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"no such job"}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, err = c.StreamRecords(context.Background(), "nope", 0, &buf)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.Status != http.StatusNotFound {
+		t.Fatalf("want HTTP 404, got %d", apiErr.Status)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (API errors must not be retried)", attempts)
+	}
+}
+
+// TestStreamRecordsGivesUpWhenDry asserts the retry budget is bounded:
+// a daemon that never delivers a record stops being retried after
+// streamRetries consecutive dry connections.
+func TestStreamRecordsGivesUpWhenDry(t *testing.T) {
+	srv := &flakyRecords{lines: testLines(4), dropAt: 0, drops: 1 << 20}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	start := time.Now()
+	n, err := c.StreamRecords(context.Background(), "job-1", 0, &buf)
+	if err == nil {
+		t.Fatal("want error after exhausting retries, got nil")
+	}
+	if n != 0 {
+		t.Fatalf("want 0 lines, got %d", n)
+	}
+	srv.mu.Lock()
+	attempts := srv.attempts
+	srv.mu.Unlock()
+	if attempts != streamRetries {
+		t.Fatalf("server saw %d attempts, want %d", attempts, streamRetries)
+	}
+	// Backoff schedule 100+200+400+800ms ≈ 1.5s; well under a minute
+	// even on a loaded host.
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Fatalf("retries took %v, backoff cap is not working", elapsed)
+	}
+}
+
+// TestStreamRecordsCtxCancelStopsRetry asserts cancellation during the
+// backoff sleep surfaces promptly instead of burning the retry budget.
+func TestStreamRecordsCtxCancelStopsRetry(t *testing.T) {
+	srv := &flakyRecords{lines: testLines(4), dropAt: 0, drops: 1 << 20}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	var buf bytes.Buffer
+	_, err = c.StreamRecords(ctx, "job-1", 0, &buf)
+	if err == nil {
+		t.Fatal("want error after ctx cancel, got nil")
+	}
+	if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("want context cancellation error, got %v", err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -155,6 +155,16 @@ func (s *Server) Submit(sc *scenario.Scenario) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Multi-process runs fork worker OS processes that can be killed out
+	// from under the daemon (OOM, operator, machine trouble). Unless the
+	// scenario chose its own policy, arm the default one: checkpoint
+	// periodically and recover a lost worker by replay, so the loss costs
+	// wall-clock time instead of error-stamping the job's records.
+	for i := range specs {
+		if specs[i].Processes > 1 && specs[i].Checkpoint == nil {
+			specs[i].Checkpoint = defaultCheckpoint
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -179,6 +189,13 @@ func (s *Server) Submit(sc *scenario.Scenario) (*Job, error) {
 }
 
 var errDraining = fmt.Errorf("service: draining, not accepting jobs")
+
+// defaultCheckpoint is the worker-loss policy applied to multi-process
+// runs whose scenario set none: checkpoint every 8 barrier epochs into a
+// per-run temporary directory and re-fork up to twice. Configurations
+// without LaxBarrier epochs simply never checkpoint, but the re-fork
+// recovery still applies.
+var defaultCheckpoint = &scenario.CheckpointPolicy{Every: 8, MaxRestarts: 2}
 
 // scheduleLocked starts queued jobs while slots are free. Called with mu
 // held on every event that can open a slot or add work.

@@ -42,11 +42,11 @@ func TestHandshakeRejectsProtoSkew(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		var hello [24]byte
+		var hello [32]byte
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
 			return
 		}
-		var welcome [16]byte
+		var welcome [24]byte
 		binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
 		binary.LittleEndian.PutUint32(welcome[4:8], tcpProto+999)
 		conn.Write(welcome[:])
@@ -82,11 +82,11 @@ func TestHandshakeRejectsClusterSizeMismatch(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		var hello [24]byte
+		var hello [32]byte
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
 			return
 		}
-		var welcome [16]byte
+		var welcome [24]byte
 		binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
 		binary.LittleEndian.PutUint32(welcome[4:8], tcpProto)
 		conn.Write(welcome[:])
@@ -110,7 +110,7 @@ func TestHandshakeRejectsClusterSizeMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write(encodeHello(3, arch.ProcID(1), 0)); err != nil {
+	if _, err := conn.Write(encodeHello(3, arch.ProcID(1), 0, 0)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -121,6 +121,73 @@ func TestHandshakeRejectsClusterSizeMismatch(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "3-process") {
 			t.Fatalf("error does not name the size mismatch: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DialTCP did not return")
+	}
+}
+
+// TestHandshakeRejectsGenerationSkew: a worker surviving from a dead
+// recovery attempt dials the re-forked fabric with its old generation
+// number; the accepting side must refuse it so the zombie cannot inject
+// pre-recovery traffic into the replacement run.
+func TestHandshakeRejectsGenerationSkew(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+
+	// A fake proc 1 that lets proc 0's outbound dial complete normally.
+	ln, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var hello [32]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return
+		}
+		var welcome [24]byte
+		binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
+		binary.LittleEndian.PutUint32(welcome[4:8], tcpProto)
+		binary.LittleEndian.PutUint64(welcome[16:24], 2)
+		conn.Write(welcome[:])
+	}()
+
+	result := make(chan error, 1)
+	go func() {
+		tr, err := DialTCP(TCPConfig{
+			Proc: 0, Procs: 2, Addrs: addrs,
+			DialTimeout: 5 * time.Second,
+			Generation:  2,
+		})
+		if tr != nil {
+			tr.Close()
+		}
+		result <- err
+	}()
+
+	// Dial proc 0's listener as proc 1 of generation 1 — the attempt that
+	// already died.
+	conn, err := dialRetry(addrs[0], 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(encodeHello(2, arch.ProcID(1), 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-result:
+		if err == nil {
+			t.Fatal("accepting a stale-generation peer succeeded")
+		}
+		if !strings.Contains(err.Error(), "generation") {
+			t.Fatalf("error does not name the generation skew: %v", err)
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("DialTCP did not return")
@@ -143,11 +210,11 @@ func TestHandshakeRejectsGarbage(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		var hello [24]byte
+		var hello [32]byte
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
 			return
 		}
-		var welcome [16]byte
+		var welcome [24]byte
 		binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
 		binary.LittleEndian.PutUint32(welcome[4:8], tcpProto)
 		conn.Write(welcome[:])
@@ -170,7 +237,7 @@ func TestHandshakeRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n")); err != nil {
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\nUser-Agent: scanner\r\n\r\n")); err != nil {
 		t.Fatal(err)
 	}
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -35,26 +36,30 @@ const helloMagic = 0x01504D47
 // connection handshake: processes of one simulation may run on different
 // machines from different builds, and a version skew must fail the dial
 // loudly instead of mis-framing traffic. Bump on any change to the frame
-// or handshake layout.
-const tcpProto = 2
+// or handshake layout. Proto 3 added the run generation to the hello
+// and welcome.
+const tcpProto = 3
 
-// hello is the 24-byte header the dialing process sends on a fresh
+// hello is the 32-byte header the dialing process sends on a fresh
 // connection: magic, proto, total process count, the dialer's ProcID,
-// and the fabric ID of the run. The acceptor validates all of them (the
-// process count and fabric ID catch two simulations misconfigured onto
-// each other — auto-allocated localhost ports can be recycled between
-// concurrent runs) and answers with a 16-byte welcome (magic, proto,
-// fabric ID) so the dialer can diagnose a skewed or foreign peer too.
-// A zero fabric ID means "unchecked" (manually launched multi-host runs
-// share no generated ID); the ID is enforced only when both sides have
-// one.
-func encodeHello(procs int, proc arch.ProcID, fabric uint64) []byte {
-	b := make([]byte, 24)
+// the fabric ID of the run, and the run generation. The acceptor
+// validates all of them (the process count and fabric ID catch two
+// simulations misconfigured onto each other — auto-allocated localhost
+// ports can be recycled between concurrent runs; the generation catches
+// a zombie worker from a pre-recovery attempt dialing into the re-forked
+// fabric) and answers with a 24-byte welcome (magic, proto, fabric ID,
+// generation) so the dialer can diagnose a skewed or foreign peer too.
+// A zero fabric ID or generation means "unchecked" (manually launched
+// multi-host runs share no generated ID); each is enforced only when
+// both sides carry one.
+func encodeHello(procs int, proc arch.ProcID, fabric, generation uint64) []byte {
+	b := make([]byte, 32)
 	binary.LittleEndian.PutUint32(b[0:4], helloMagic)
 	binary.LittleEndian.PutUint32(b[4:8], tcpProto)
 	binary.LittleEndian.PutUint32(b[8:12], uint32(procs))
 	binary.LittleEndian.PutUint32(b[12:16], uint32(proc))
 	binary.LittleEndian.PutUint64(b[16:24], fabric)
+	binary.LittleEndian.PutUint64(b[24:32], generation)
 	return b
 }
 
@@ -74,6 +79,12 @@ type TCPConfig struct {
 	// a different non-zero ID, so two simulations racing over recycled
 	// localhost ports cannot cross-connect. Zero disables the check.
 	FabricID uint64
+	// Generation is the recovery attempt number of this run (0 or 1 for
+	// a first launch, incremented on each re-fork after a worker loss).
+	// The handshake rejects peers carrying a different non-zero
+	// generation, so a zombie worker from a dead attempt cannot join the
+	// replacement fabric. Zero disables the check.
+	Generation uint64
 }
 
 // tcpTransport implements Transport over a full mesh of TCP connections.
@@ -198,7 +209,7 @@ func DialTCP(cfg TCPConfig) (Transport, error) {
 func (t *tcpTransport) acceptHandshake(conn net.Conn) (arch.ProcID, error) {
 	conn.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
 	defer conn.SetReadDeadline(time.Time{})
-	var hello [24]byte
+	var hello [32]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
 		return 0, fmt.Errorf("reading hello from %s: %w", conn.RemoteAddr(), err)
 	}
@@ -209,10 +220,11 @@ func (t *tcpTransport) acceptHandshake(conn net.Conn) (arch.ProcID, error) {
 	// Always answer a well-formed hello, even one we reject: the dialer is
 	// a Graphite peer blocked on the welcome, and the reply lets it report
 	// the version skew on its own side too.
-	var welcome [16]byte
+	var welcome [24]byte
 	binary.LittleEndian.PutUint32(welcome[0:4], helloMagic)
 	binary.LittleEndian.PutUint32(welcome[4:8], tcpProto)
 	binary.LittleEndian.PutUint64(welcome[8:16], t.cfg.FabricID)
+	binary.LittleEndian.PutUint64(welcome[16:24], t.cfg.Generation)
 	if _, err := conn.Write(welcome[:]); err != nil {
 		return 0, fmt.Errorf("writing welcome to %s: %w", conn.RemoteAddr(), err)
 	}
@@ -224,6 +236,9 @@ func (t *tcpTransport) acceptHandshake(conn net.Conn) (arch.ProcID, error) {
 	}
 	if f := binary.LittleEndian.Uint64(hello[16:24]); f != 0 && t.cfg.FabricID != 0 && f != t.cfg.FabricID {
 		return 0, fmt.Errorf("peer %s belongs to a different run (fabric %#x, this one is %#x)", conn.RemoteAddr(), f, t.cfg.FabricID)
+	}
+	if g := binary.LittleEndian.Uint64(hello[24:32]); g != 0 && t.cfg.Generation != 0 && g != t.cfg.Generation {
+		return 0, fmt.Errorf("peer %s belongs to run generation %d, this fabric is generation %d", conn.RemoteAddr(), g, t.cfg.Generation)
 	}
 	from := arch.ProcID(binary.LittleEndian.Uint32(hello[12:16]))
 	if int(from) >= t.cfg.Procs || from == t.cfg.Proc {
@@ -244,11 +259,11 @@ func dialHandshake(cfg TCPConfig, p int) (net.Conn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("transport: handshake with proc %d (%s): %w", p, cfg.Addrs[p], err)
 	}
-	if _, err := conn.Write(encodeHello(cfg.Procs, cfg.Proc, cfg.FabricID)); err != nil {
+	if _, err := conn.Write(encodeHello(cfg.Procs, cfg.Proc, cfg.FabricID, cfg.Generation)); err != nil {
 		return fail(err)
 	}
 	conn.SetReadDeadline(time.Now().Add(cfg.DialTimeout))
-	var welcome [16]byte
+	var welcome [24]byte
 	if _, err := io.ReadFull(conn, welcome[:]); err != nil {
 		return fail(fmt.Errorf("reading welcome: %w", err))
 	}
@@ -261,6 +276,9 @@ func dialHandshake(cfg TCPConfig, p int) (net.Conn, error) {
 	}
 	if f := binary.LittleEndian.Uint64(welcome[8:16]); f != 0 && cfg.FabricID != 0 && f != cfg.FabricID {
 		return fail(fmt.Errorf("peer belongs to a different run (fabric %#x, this one is %#x)", f, cfg.FabricID))
+	}
+	if g := binary.LittleEndian.Uint64(welcome[16:24]); g != 0 && cfg.Generation != 0 && g != cfg.Generation {
+		return fail(fmt.Errorf("peer belongs to run generation %d, this process is generation %d", g, cfg.Generation))
 	}
 	return conn, nil
 }
@@ -462,6 +480,16 @@ func (t *tcpTransport) Send(dst EndpointID, data []byte) error {
 // between it and the conn write still surfaces here, and callers are
 // promised ErrClosed — not a raw "use of closed network connection" —
 // once Close has begun.
+//
+// A write error on a fabric that is NOT closing means a peer process is
+// gone (killed, crashed, machine lost): the simulation cannot make
+// progress without it, and every send path in the simulator treats
+// ErrClosed — and only ErrClosed — as orderly teardown. So the first such
+// error fails the whole fabric: Close the transport (idempotent, wakes
+// every local receiver) and report ErrClosed, turning an unrecoverable
+// distributed fault into the same local unwind a deliberate teardown
+// takes. The supervisor (launch.Run, or graphited) decides whether to
+// re-fork and replay.
 func (t *tcpTransport) closedOr(err error) error {
 	if err == nil {
 		return nil
@@ -472,7 +500,9 @@ func (t *tcpTransport) closedOr(err error) error {
 	if closed {
 		return ErrClosed
 	}
-	return err
+	fmt.Fprintf(os.Stderr, "transport: fabric write failed (peer process lost?): %v\n", err)
+	t.Close()
+	return ErrClosed
 }
 
 // SendBatch implements Transport. Remote batches travel as one flagged
